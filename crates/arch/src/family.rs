@@ -1,0 +1,153 @@
+//! GPU architecture families and compute capabilities.
+
+use std::fmt;
+
+/// NVIDIA GPU architecture generation, as named in the last row of the
+/// paper's Table I.
+///
+/// The family determines the compute capability targeted by the compiler
+/// substrate and selects the column of the instruction-throughput table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Fermi (compute capability 2.0) — the M2050 in the paper.
+    Fermi,
+    /// Kepler (compute capability 3.5) — the K20.
+    Kepler,
+    /// Maxwell (compute capability 5.2) — the M40.
+    Maxwell,
+    /// Pascal (compute capability 6.0) — the P100.
+    Pascal,
+}
+
+impl Family {
+    /// All families, in chronological (and Table I column) order.
+    pub const ALL: [Family; 4] = [
+        Family::Fermi,
+        Family::Kepler,
+        Family::Maxwell,
+        Family::Pascal,
+    ];
+
+    /// Compute capability of the family's representative in Table I.
+    pub fn compute_capability(self) -> ComputeCapability {
+        match self {
+            Family::Fermi => ComputeCapability::new(2, 0),
+            Family::Kepler => ComputeCapability::new(3, 5),
+            Family::Maxwell => ComputeCapability::new(5, 2),
+            Family::Pascal => ComputeCapability::new(6, 0),
+        }
+    }
+
+    /// Short label used in the paper's figures ("F", "K", "M", "P").
+    pub fn letter(self) -> char {
+        match self {
+            Family::Fermi => 'F',
+            Family::Kepler => 'K',
+            Family::Maxwell => 'M',
+            Family::Pascal => 'P',
+        }
+    }
+
+    /// The `sm_xx` architecture string `nvcc -arch=` would receive.
+    pub fn sm_arch(self) -> &'static str {
+        match self {
+            Family::Fermi => "sm_20",
+            Family::Kepler => "sm_35",
+            Family::Maxwell => "sm_52",
+            Family::Pascal => "sm_60",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Family::Fermi => "Fermi",
+            Family::Kepler => "Kepler",
+            Family::Maxwell => "Maxwell",
+            Family::Pascal => "Pascal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// CUDA compute capability (`cc` in the paper's notation), e.g. 3.5.
+///
+/// Ordered lexicographically on (major, minor) so version gates such as
+/// "register allocation is per-warp from Kepler on" can be written as
+/// simple comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComputeCapability {
+    /// Major version (the architecture generation).
+    pub major: u8,
+    /// Minor version (the revision within a generation).
+    pub minor: u8,
+}
+
+impl ComputeCapability {
+    /// Creates a compute capability from major/minor parts.
+    pub const fn new(major: u8, minor: u8) -> Self {
+        Self { major, minor }
+    }
+
+    /// `major.minor` as a float, matching the paper's "CUDA capability"
+    /// row (2, 3.5, 5.2, 6.0).
+    pub fn as_f32(self) -> f32 {
+        f32::from(self.major) + f32::from(self.minor) / 10.0
+    }
+
+    /// Whether register allocation on this capability is performed at warp
+    /// granularity (Kepler and newer) rather than block granularity
+    /// (Fermi). This distinction feeds the Eq. 4 register limiter.
+    pub fn warp_granularity_regalloc(self) -> bool {
+        self.major >= 3
+    }
+}
+
+impl fmt::Display for ComputeCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_capabilities_match_table_i() {
+        assert_eq!(Family::Fermi.compute_capability().as_f32(), 2.0);
+        assert_eq!(Family::Kepler.compute_capability().as_f32(), 3.5);
+        assert_eq!(Family::Maxwell.compute_capability().as_f32(), 5.2);
+        assert_eq!(Family::Pascal.compute_capability().as_f32(), 6.0);
+    }
+
+    #[test]
+    fn capability_ordering_is_chronological() {
+        let ccs: Vec<_> = Family::ALL.iter().map(|f| f.compute_capability()).collect();
+        let mut sorted = ccs.clone();
+        sorted.sort();
+        assert_eq!(ccs, sorted);
+    }
+
+    #[test]
+    fn regalloc_granularity_gate() {
+        assert!(!Family::Fermi.compute_capability().warp_granularity_regalloc());
+        assert!(Family::Kepler.compute_capability().warp_granularity_regalloc());
+        assert!(Family::Pascal.compute_capability().warp_granularity_regalloc());
+    }
+
+    #[test]
+    fn letters_and_arch_strings() {
+        assert_eq!(Family::Fermi.letter(), 'F');
+        assert_eq!(Family::Maxwell.sm_arch(), "sm_52");
+        let letters: Vec<_> = Family::ALL.iter().map(|f| f.letter()).collect();
+        assert_eq!(letters, vec!['F', 'K', 'M', 'P']);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Family::Kepler.to_string(), "Kepler");
+        assert_eq!(ComputeCapability::new(5, 2).to_string(), "5.2");
+    }
+}

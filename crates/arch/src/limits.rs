@@ -1,0 +1,183 @@
+//! Launch-configuration validation against hardware limits.
+//!
+//! The occupancy equations (Eqs. 4 and 5) have explicit "illegal input"
+//! cases: a user-declared register count beyond `R^cc_T`, or shared memory
+//! beyond `S^cc_B`, yields zero allocable blocks. This module centralizes
+//! those checks so the compiler substrate, the analyzer, and the tuner all
+//! agree on what constitutes a launchable configuration.
+
+use crate::spec::GpuSpec;
+use std::fmt;
+
+/// A reason a launch configuration is invalid on a given GPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Block size of zero threads.
+    ZeroThreads,
+    /// Block size exceeds `T^cc_B` (1024 on all Table I GPUs).
+    TooManyThreads {
+        /// Requested threads per block.
+        requested: u32,
+        /// Hardware maximum.
+        max: u32,
+    },
+    /// Registers per thread exceed `R^cc_T` — Eq. 4 case 1.
+    TooManyRegisters {
+        /// Requested registers per thread.
+        requested: u32,
+        /// Hardware maximum.
+        max: u32,
+    },
+    /// Shared memory per block exceeds `S^cc_B` — Eq. 5 case 1.
+    TooMuchSharedMem {
+        /// Requested bytes per block.
+        requested: u32,
+        /// Hardware maximum.
+        max: u32,
+    },
+    /// Grid with zero blocks.
+    ZeroBlocks,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::ZeroThreads => write!(f, "block size must be at least one thread"),
+            LaunchError::TooManyThreads { requested, max } => {
+                write!(f, "block size {requested} exceeds device maximum {max}")
+            }
+            LaunchError::TooManyRegisters { requested, max } => {
+                write!(f, "{requested} registers/thread exceeds device maximum {max}")
+            }
+            LaunchError::TooMuchSharedMem { requested, max } => {
+                write!(f, "{requested} B shared memory/block exceeds device maximum {max}")
+            }
+            LaunchError::ZeroBlocks => write!(f, "grid must contain at least one block"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A launch configuration to validate: the user-supplied (`u`-superscript)
+/// quantities of the paper's occupancy inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchCheck {
+    /// `T_u` — threads per block.
+    pub threads_per_block: u32,
+    /// Number of blocks in the grid.
+    pub blocks: u32,
+    /// `R_u` — registers per thread (0 = "let the compiler decide",
+    /// Eq. 4 case 3).
+    pub regs_per_thread: u32,
+    /// `S_u` — shared memory per block in bytes (0 = none, Eq. 5 case 3).
+    pub shmem_per_block: u32,
+}
+
+/// Validates a launch configuration against a device's hard limits.
+///
+/// Returns all violations, not just the first, so callers can report a
+/// complete diagnosis (the CLI prints each).
+pub fn validate_launch(spec: &GpuSpec, check: LaunchCheck) -> Result<(), Vec<LaunchError>> {
+    let mut errors = Vec::new();
+    if check.threads_per_block == 0 {
+        errors.push(LaunchError::ZeroThreads);
+    } else if check.threads_per_block > spec.threads_per_block {
+        errors.push(LaunchError::TooManyThreads {
+            requested: check.threads_per_block,
+            max: spec.threads_per_block,
+        });
+    }
+    if check.blocks == 0 {
+        errors.push(LaunchError::ZeroBlocks);
+    }
+    if check.regs_per_thread > spec.regs_per_thread_max {
+        errors.push(LaunchError::TooManyRegisters {
+            requested: check.regs_per_thread,
+            max: spec.regs_per_thread_max,
+        });
+    }
+    if check.shmem_per_block > spec.shmem_per_block {
+        errors.push(LaunchError::TooMuchSharedMem {
+            requested: check.shmem_per_block,
+            max: spec.shmem_per_block,
+        });
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Gpu;
+
+    fn ok_launch() -> LaunchCheck {
+        LaunchCheck {
+            threads_per_block: 256,
+            blocks: 64,
+            regs_per_thread: 32,
+            shmem_per_block: 4096,
+        }
+    }
+
+    #[test]
+    fn valid_launch_passes_everywhere() {
+        for gpu in crate::spec::ALL_GPUS {
+            assert!(validate_launch(gpu.spec(), ok_launch()).is_ok(), "{gpu}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let mut launch = ok_launch();
+        launch.threads_per_block = 0;
+        let errs = validate_launch(Gpu::K20.spec(), launch).unwrap_err();
+        assert!(errs.contains(&LaunchError::ZeroThreads));
+    }
+
+    #[test]
+    fn register_limit_is_cc_specific() {
+        // 100 regs/thread is legal on Kepler (max 255) but illegal on
+        // Fermi (max 63) — Eq. 4 case 1.
+        let mut launch = ok_launch();
+        launch.regs_per_thread = 100;
+        assert!(validate_launch(Gpu::K20.spec(), launch).is_ok());
+        let errs = validate_launch(Gpu::M2050.spec(), launch).unwrap_err();
+        assert_eq!(
+            errs,
+            vec![LaunchError::TooManyRegisters { requested: 100, max: 63 }]
+        );
+    }
+
+    #[test]
+    fn shared_memory_limit() {
+        let mut launch = ok_launch();
+        launch.shmem_per_block = 49_153;
+        for gpu in crate::spec::ALL_GPUS {
+            let errs = validate_launch(gpu.spec(), launch).unwrap_err();
+            assert!(matches!(errs[0], LaunchError::TooMuchSharedMem { .. }), "{gpu}");
+        }
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let launch = LaunchCheck {
+            threads_per_block: 2048,
+            blocks: 0,
+            regs_per_thread: 999,
+            shmem_per_block: 99_999,
+        };
+        let errs = validate_launch(Gpu::P100.spec(), launch).unwrap_err();
+        assert_eq!(errs.len(), 4);
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let msg = LaunchError::TooManyRegisters { requested: 300, max: 255 }.to_string();
+        assert!(msg.contains("300") && msg.contains("255"));
+    }
+}

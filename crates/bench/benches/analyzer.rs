@@ -1,0 +1,50 @@
+//! Criterion bench: the static analyzer.
+//!
+//! §IV-C's cost argument rests on static analysis being much cheaper than
+//! empirical measurement: "static analysis does not suffer from the
+//! effects of noise and hence only has to be performed once on each code
+//! version." These benches quantify "once".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oriole_arch::Gpu;
+use oriole_codegen::{compile, TuningParams};
+use oriole_core::{analyze, analyze_disassembly, predict_time};
+use oriole_ir::LaunchGeometry;
+use oriole_kernels::{KernelId, ALL_KERNELS};
+
+fn bench_analyzer(c: &mut Criterion) {
+    let gpu = Gpu::K20.spec();
+    let mut g = c.benchmark_group("analyzer");
+
+    for kid in ALL_KERNELS {
+        let n = kid.input_sizes()[2];
+        let kernel = compile(&kid.ast(n), gpu, TuningParams::with_geometry(128, 48)).unwrap();
+        g.bench_function(format!("full_analysis/{kid}"), |b| {
+            b.iter(|| analyze(black_box(&kernel), n))
+        });
+    }
+
+    let kernel = compile(
+        &KernelId::Atax.ast(256),
+        gpu,
+        TuningParams::with_geometry(128, 48),
+    )
+    .unwrap();
+    let listing = kernel.disassembly();
+    g.bench_function("parse_disassembly/atax", |b| {
+        b.iter(|| oriole_ir::text::parse(black_box(&listing)).unwrap())
+    });
+    g.bench_function("analysis_from_text/atax", |b| {
+        b.iter(|| {
+            analyze_disassembly(black_box(&listing), gpu, LaunchGeometry::new(256, 128, 48))
+                .unwrap()
+        })
+    });
+    g.bench_function("eq6_prediction/atax", |b| {
+        b.iter(|| predict_time(black_box(&kernel.program), LaunchGeometry::new(256, 128, 48)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: the compiler substrate — per-variant compilation
+//! cost, which both exhaustive and static-pruned autotuning pay for every
+//! candidate ("the model-based search space reduction does involve
+//! generating and compiling the code versions", §IV-C).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oriole_arch::Gpu;
+use oriole_codegen::{compile, regalloc, transform, TuningParams};
+use oriole_ir::lower::{lower, LowerOptions};
+use oriole_kernels::{KernelId, ALL_KERNELS};
+
+fn bench_codegen(c: &mut Criterion) {
+    let gpu = Gpu::K20.spec();
+    let mut g = c.benchmark_group("codegen");
+
+    for kid in ALL_KERNELS {
+        let ast = kid.ast(kid.input_sizes()[2]);
+        g.bench_function(format!("compile/{kid}"), |b| {
+            b.iter(|| {
+                compile(
+                    black_box(&ast),
+                    gpu,
+                    TuningParams::with_geometry(128, 48),
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    let ast = KernelId::Ex14Fj.ast(64);
+    for uif in [1u32, 5] {
+        g.bench_function(format!("unroll/ex14fj/u{uif}"), |b| {
+            b.iter(|| transform::unroll(black_box(&ast), uif))
+        });
+    }
+    let unrolled = transform::unroll(&ast, 5);
+    let program = lower(&unrolled, oriole_arch::Family::Kepler, LowerOptions::default());
+    g.bench_function("regalloc/ex14fj_u5", |b| {
+        b.iter(|| regalloc::allocate(black_box(&program), 255))
+    });
+    g.bench_function("emit_disassembly/ex14fj_u5", |b| {
+        b.iter(|| oriole_ir::text::emit(black_box(&program)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

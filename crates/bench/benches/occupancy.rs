@@ -1,0 +1,34 @@
+//! Criterion bench: the occupancy calculator (Eqs. 1–5).
+//!
+//! The static-search module calls this for every candidate block size;
+//! its cost bounds how cheaply the analyzer can prune.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oriole_arch::{occupancy, Gpu, OccupancyInput, ALL_GPUS};
+
+fn bench_occupancy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("occupancy");
+    for gpu in ALL_GPUS {
+        g.bench_function(format!("single/{gpu}"), |b| {
+            b.iter(|| {
+                occupancy(
+                    gpu.spec(),
+                    black_box(OccupancyInput {
+                        tc: 256,
+                        regs_per_thread: 27,
+                        smem_per_block: 3072,
+                        shmem_per_mp: None,
+                    }),
+                )
+            })
+        });
+    }
+    // The analyzer's T* scan: every warp-multiple block size.
+    g.bench_function("t_star_scan/K20", |b| {
+        b.iter(|| oriole_core::suggest::full_occupancy_block_sizes(Gpu::K20.spec()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_occupancy);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: search strategies at a fixed evaluation budget —
+//! the Fig. 6 cost story end-to-end, with real compile+simulate
+//! evaluations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oriole_arch::Gpu;
+use oriole_codegen::{compile, TuningParams};
+use oriole_core::analyze;
+use oriole_kernels::KernelId;
+use oriole_tuner::{
+    AnnealingSearch, Evaluator, ExhaustiveSearch, GeneticSearch, NelderMeadSearch, PruneLevel,
+    RandomSearch, SearchSpace, Searcher, StaticSearch,
+};
+
+fn bench_search(c: &mut Criterion) {
+    let gpu = Gpu::K20.spec();
+    let kid = KernelId::Atax;
+    let sizes = [128u64];
+    let builder = move |n: u64| kid.ast(n);
+
+    // A reduced space keeps exhaustive affordable inside a bench loop.
+    let mut space = SearchSpace::tiny();
+    space.tc = vec![64, 128, 256, 512, 768, 1024];
+    space.bc = vec![24, 96, 192];
+    let budget = 18;
+
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+
+    macro_rules! bench_strategy {
+        ($name:expr, $mk:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_batched(
+                    || Evaluator::new(&builder, gpu, &sizes),
+                    |evaluator| {
+                        let mut s = $mk;
+                        s.search(&space, &evaluator, budget)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+
+    bench_strategy!("exhaustive_18pts", ExhaustiveSearch);
+    bench_strategy!("random_18evals", RandomSearch { seed: 1 });
+    bench_strategy!("anneal_18evals", AnnealingSearch { seed: 1, ..Default::default() });
+    bench_strategy!("genetic_18evals", GeneticSearch { seed: 1, population: 6, ..Default::default() });
+    bench_strategy!("neldermead_18evals", NelderMeadSearch { seed: 1, ..Default::default() });
+
+    let probe = compile(&kid.ast(128), gpu, TuningParams::with_geometry(128, 48)).unwrap();
+    let analysis = analyze(&probe, 128);
+    g.bench_function("static_pruned_exhaustive", |b| {
+        b.iter_batched(
+            || Evaluator::new(&builder, gpu, &sizes),
+            |evaluator| {
+                let mut s = StaticSearch::new(analysis.clone(), PruneLevel::RuleBased);
+                s.search(&space, &evaluator, usize::MAX)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The pruning decision alone (what the analyzer adds per kernel).
+    g.bench_function("static_analysis_probe", |b| {
+        b.iter(|| analyze(&probe, 128))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: the GPU timing simulator — the cost of one
+//! "empirical" measurement, the quantity the paper's static approach
+//! avoids paying thousands of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oriole_arch::Gpu;
+use oriole_codegen::{compile, TuningParams};
+use oriole_kernels::ALL_KERNELS;
+use oriole_sim::{dynamic_mix, measure, simulate};
+
+fn bench_simulator(c: &mut Criterion) {
+    let gpu = Gpu::K20.spec();
+    let mut g = c.benchmark_group("simulator");
+
+    for kid in ALL_KERNELS {
+        let n = kid.input_sizes()[2];
+        let kernel = compile(&kid.ast(n), gpu, TuningParams::with_geometry(128, 48)).unwrap();
+        g.bench_function(format!("simulate/{kid}"), |b| {
+            b.iter(|| simulate(black_box(&kernel), n).unwrap())
+        });
+    }
+
+    let kid = ALL_KERNELS[0];
+    let n = kid.input_sizes()[2];
+    let kernel = compile(&kid.ast(n), gpu, TuningParams::with_geometry(128, 48)).unwrap();
+    g.bench_function("ten_trials_protocol/atax", |b| {
+        b.iter(|| measure(black_box(&kernel), n, 10, 42).unwrap())
+    });
+    g.bench_function("dynamic_counters/atax", |b| {
+        b.iter(|| dynamic_mix(black_box(&kernel), n))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

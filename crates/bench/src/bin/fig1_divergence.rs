@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 1**: the branch-divergence problem and the
+//! performance loss incurred.
+//!
+//! A synthetic kernel splits its threads into `k` classes, each taking a
+//! distinct path; a warp containing all classes serializes them. The
+//! staircase of slowdowns versus `k` is the figure's content.
+//!
+//! ```sh
+//! cargo run -p oriole-bench --bin fig1_divergence
+//! ```
+
+use oriole_bench::{ExpOptions, TextTable};
+use oriole_codegen::{compile, TuningParams};
+use oriole_kernels::synthetic::divergent_switch;
+use oriole_sim::simulate;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let n = 256;
+    println!("Fig. 1: branch divergence problem and performance loss incurred.\n");
+    for gpu in opts.gpus() {
+        let mut table = TextTable::new(&["divergent classes", "time (ms)", "slowdown"]);
+        let mut base = None;
+        for classes in [1u32, 2, 4, 8, 16, 32] {
+            let kernel = compile(
+                &divergent_switch(classes, 48),
+                gpu.spec(),
+                TuningParams::with_geometry(256, 96),
+            )
+            .expect("compiles");
+            let t = simulate(&kernel, n).expect("launches").time_ms;
+            let b = *base.get_or_insert(t);
+            table.row(vec![
+                classes.to_string(),
+                format!("{t:.4}"),
+                format!("{:.2}x", t / b),
+            ]);
+        }
+        println!("-- {} --", gpu.spec());
+        println!("{}", table.render());
+    }
+    println!(
+        "Shape target (paper): monotone slowdown as warps serialize more paths; in the \
+         worst case only 1 of 32 lanes progresses per cycle."
+    );
+}

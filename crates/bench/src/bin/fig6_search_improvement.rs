@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 6**: improved search time over exhaustive
+//! autotuning, comparing the static and rule-based approaches — and
+//! validates that the pruned searches still find near-optimal variants.
+//!
+//! ```sh
+//! cargo run --release -p oriole-bench --bin fig6_search_improvement [--quick]
+//! ```
+
+use oriole_bench::{ExpOptions, TextTable};
+use oriole_codegen::{compile, TuningParams};
+use oriole_core::analyze;
+use oriole_tuner::{Evaluator, ExhaustiveSearch, PruneLevel, Searcher, StaticSearch};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let space = opts.space();
+    let mut table = TextTable::new(&[
+        "Kernel",
+        "Arch",
+        "Static improv.",
+        "RB improv.",
+        "exhaustive best (ms)",
+        "static best (ms)",
+        "RB best (ms)",
+    ]);
+
+    for kid in opts.kernels() {
+        let sizes = opts.sizes(kid);
+        for gpu in opts.gpus() {
+            let builder = move |n: u64| kid.ast(n);
+
+            let evaluator = Evaluator::new(&builder, gpu.spec(), &sizes);
+            let exhaustive = ExhaustiveSearch.search(&space, &evaluator, usize::MAX);
+
+            let probe_n = sizes[sizes.len() / 2];
+            let probe = compile(
+                &kid.ast(probe_n),
+                gpu.spec(),
+                TuningParams::with_geometry(128, 48),
+            )
+            .expect("compiles");
+            let analysis = analyze(&probe, probe_n);
+
+            let run_pruned = |level: PruneLevel| {
+                let ev = Evaluator::new(&builder, gpu.spec(), &sizes);
+                let mut s = StaticSearch::new(analysis.clone(), level);
+                let r = s.search(&space, &ev, usize::MAX);
+                (s.report.expect("ran").improvement, r.best_time)
+            };
+            let (static_improv, static_best) = run_pruned(PruneLevel::Static);
+            let (rb_improv, rb_best) = run_pruned(PruneLevel::RuleBased);
+
+            table.row(vec![
+                kid.name().to_string(),
+                gpu.spec().name.to_string(),
+                format!("{:.1}%", static_improv * 100.0),
+                format!("{:.1}%", rb_improv * 100.0),
+                format!("{:.4}", exhaustive.best_time),
+                format!("{:.4}", static_best),
+                format!("{:.4}", rb_best),
+            ]);
+            eprintln!("  done: {} on {gpu}", kid.name());
+        }
+    }
+    println!("Fig. 6: improved search over exhaustive autotuning (static vs rule-based).\n");
+    println!("{}", table.render());
+    println!(
+        "Shape targets (paper): static pruning ~84% (Fermi, 5/32 thread values) to 87.5% \
+         (Kepler/Maxwell/Pascal, 4-5/32); static+rules ~93.8%; pruned searches stay \
+         competitive with the exhaustive optimum."
+    );
+}

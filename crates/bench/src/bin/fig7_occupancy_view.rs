@@ -1,0 +1,38 @@
+//! Regenerates **Fig. 7**: the occupancy-calculator view for the ATAX
+//! kernel — thread, register and shared-memory impact panels for the
+//! current configuration (top) and the potential optimized one (bottom).
+//!
+//! ```sh
+//! cargo run -p oriole-bench --bin fig7_occupancy_view
+//! ```
+
+use oriole_arch::Gpu;
+use oriole_bench::ExpOptions;
+use oriole_codegen::{compile, TuningParams};
+use oriole_core::{report, suggest};
+use oriole_kernels::KernelId;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let kid = opts.kernel.unwrap_or(KernelId::Atax);
+    let gpu = opts.gpu.unwrap_or(Gpu::K20);
+    let n = kid.input_sizes()[2];
+
+    // "Current": a deliberately suboptimal block size, as in the figure.
+    let current = compile(&kid.ast(n), gpu.spec(), TuningParams::with_geometry(160, 48))
+        .expect("compiles");
+    let suggestion = suggest::suggest(&current);
+
+    println!("Fig. 7: occupancy calculator, current (top) vs potential (bottom).\n");
+    println!(
+        "{}",
+        report::occupancy_calculator_report(
+            gpu.spec(),
+            kid.name(),
+            current.params.tc,
+            current.regs_per_thread(),
+            current.smem_per_block,
+            &suggestion,
+        )
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Table II**: instruction throughput per number of
+//! cycles (operations per cycle per SM).
+//!
+//! ```sh
+//! cargo run -p oriole-bench --bin table2_throughput
+//! ```
+
+use oriole_arch::{Family, ThroughputTable, ALL_OP_CLASSES};
+use oriole_bench::TextTable;
+
+fn main() {
+    let mut t =
+        TextTable::new(&["Category", "Op class", "SM20", "SM35", "SM52", "SM60"]);
+    for &op in &ALL_OP_CLASSES {
+        let mut row = vec![op.class().to_string(), op.name().to_string()];
+        for fam in Family::ALL {
+            row.push(ThroughputTable::for_family(fam).ipc(op).to_string());
+        }
+        t.row(row);
+    }
+    println!("Table II: instruction throughput per number of cycles.\n");
+    println!("{}", t.render());
+    println!("(Eq. 6 coefficients are the reciprocals: CPI = 1/IPC.)");
+}

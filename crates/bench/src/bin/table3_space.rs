@@ -1,0 +1,47 @@
+//! Regenerates **Table III / Fig. 3**: the tuning feature space and the
+//! Orio performance-tuning specification that generates it.
+//!
+//! ```sh
+//! cargo run -p oriole-bench --bin table3_space
+//! ```
+
+use oriole_bench::TextTable;
+use oriole_tuner::{parse_spec, spec::FIG3_SPEC, SearchSpace};
+
+fn main() {
+    println!("Fig. 3: performance tuning specification in Orio.\n");
+    println!("{FIG3_SPEC}");
+
+    let fig3 = parse_spec(FIG3_SPEC).expect("the paper's spec parses");
+    let paper = SearchSpace::paper_default();
+
+    let mut t = TextTable::new(&["Feature", "Values", "Count"]);
+    let fmt_u32 = |v: &[u32]| {
+        if v.len() > 6 {
+            format!("{}..{} (step {})", v[0], v.last().unwrap(), v[1] - v[0])
+        } else {
+            format!("{v:?}")
+        }
+    };
+    t.row(vec!["Thread count TC".into(), fmt_u32(&fig3.tc), fig3.tc.len().to_string()]);
+    t.row(vec!["Block count BC".into(), fmt_u32(&fig3.bc), fig3.bc.len().to_string()]);
+    t.row(vec!["Unroll factor UIF".into(), fmt_u32(&fig3.uif), fig3.uif.len().to_string()]);
+    t.row(vec![
+        "Preferred L1 PL (KiB)".into(),
+        format!("{:?}", fig3.pl.iter().map(|p| p.kb()).collect::<Vec<_>>()),
+        fig3.pl.len().to_string(),
+    ]);
+    t.row(vec!["Stream count SC".into(), fmt_u32(&fig3.sc), fig3.sc.len().to_string()]);
+    t.row(vec![
+        "Compiler flags CFLAGS".into(),
+        "'', -use_fast_math".into(),
+        fig3.cflags.len().to_string(),
+    ]);
+    println!("Table III: the tuning feature space.\n");
+    println!("{}", t.render());
+    println!("full Fig. 3 space: {} variants", fig3.len());
+    println!(
+        "evaluation space (SC fixed at 1, as in the paper's 'on average 5,120 code variants'): {}",
+        paper.len()
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table IV**: kernel specifications.
+//!
+//! ```sh
+//! cargo run -p oriole-bench --bin table4_kernels
+//! ```
+
+use oriole_bench::TextTable;
+use oriole_kernels::ALL_KERNELS;
+
+fn main() {
+    let mut t = TextTable::new(&["Kernel", "Category", "Operation", "Input sizes"]);
+    for kid in ALL_KERNELS {
+        t.row(vec![
+            kid.name().to_string(),
+            kid.category().to_string(),
+            kid.operation().to_string(),
+            format!("{:?}", kid.input_sizes()),
+        ]);
+    }
+    println!("Table IV: kernel specifications.\n");
+    println!("{}", t.render());
+
+    // Structural summary of the AST encodings.
+    let mut s = TextTable::new(&["Kernel", "loop depth", "divergent", "shared decls"]);
+    for kid in ALL_KERNELS {
+        let ast = kid.ast(kid.input_sizes()[2]);
+        s.row(vec![
+            kid.name().to_string(),
+            ast.loop_depth().to_string(),
+            ast.has_divergence().to_string(),
+            ast.shared.len().to_string(),
+        ]);
+    }
+    println!("{}", s.render());
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table VII**: suggested parameters to achieve theoretical
+//! occupancy — `T*`, `[R_u : R*]`, `S*`, `occ*` per kernel per
+//! architecture.
+//!
+//! ```sh
+//! cargo run -p oriole-bench --bin table7_suggestions
+//! ```
+
+use oriole_bench::{ExpOptions, TextTable};
+use oriole_codegen::{compile, TuningParams};
+use oriole_core::suggest::suggest;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let mut table = TextTable::new(&["Kernel", "Arch", "T*", "[Ru : R*]", "S* (B)", "occ*"]);
+    for kid in opts.kernels() {
+        let n = kid.input_sizes()[2];
+        for gpu in opts.gpus() {
+            let kernel =
+                compile(&kid.ast(n), gpu.spec(), TuningParams::with_geometry(128, 48))
+                    .expect("compiles");
+            let s = suggest(&kernel);
+            table.row(vec![
+                kid.name().to_string(),
+                gpu.spec().family.letter().to_string(),
+                s.thread_counts
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                format!("[{} : {}]", s.regs_used, s.reg_headroom),
+                s.smem_headroom.to_string(),
+                format!("{:.2}", s.occ_star),
+            ]);
+        }
+    }
+    println!("Table VII: suggested parameters to achieve theoretical occupancy.\n");
+    println!("{}", table.render());
+    println!(
+        "Shape targets (paper): T* = {{192,256,384,512,768}} on Fermi, {{128,256,512,1024}} \
+         on Kepler, {{64,...,1024}} on Maxwell/Pascal; occ* < 1 only where register \
+         pressure binds (Fermi)."
+    );
+}

@@ -1,0 +1,118 @@
+//! Minimal flag parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional subcommand plus `--key value` /
+/// `--switch` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Known boolean switches (present/absent, no value).
+const SWITCHES: &[&str] = &["fast-math", "csv", "quiet"];
+
+impl Args {
+    /// Parses everything after the subcommand.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let name = token
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{token}`"))?;
+            if SWITCHES.contains(&name) {
+                args.switches.push(name.to_string());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                args.flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// An optional numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: `{v}`")),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Comma-separated u64 list flag with default.
+    pub fn u64_list_or(&self, name: &str, default: &[u64]) -> Result<Vec<u64>, String> {
+        match self.flags.get(name) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse().map_err(|_| format!("bad --{name} item `{s}`")))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = Args::parse(&sv(&["--kernel", "atax", "--n", "256", "--fast-math"])).unwrap();
+        assert_eq!(a.required("kernel").unwrap(), "atax");
+        assert_eq!(a.num_or::<u64>("n", 0).unwrap(), 256);
+        assert!(a.switch("fast-math"));
+        assert!(!a.switch("csv"));
+        assert_eq!(a.optional("gpu"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&sv(&["kernel"])).is_err());
+        assert!(Args::parse(&sv(&["--kernel"])).is_err());
+        let a = Args::parse(&sv(&["--n", "abc"])).unwrap();
+        assert!(a.num_or::<u64>("n", 0).is_err());
+    }
+
+    #[test]
+    fn lists_parse() {
+        let a = Args::parse(&sv(&["--sizes", "32, 64,128"])).unwrap();
+        assert_eq!(a.u64_list_or("sizes", &[]).unwrap(), vec![32, 64, 128]);
+        let b = Args::parse(&sv(&[])).unwrap();
+        assert_eq!(b.u64_list_or("sizes", &[8, 16]).unwrap(), vec![8, 16]);
+    }
+
+    #[test]
+    fn missing_required_flag_reports_name() {
+        let a = Args::parse(&sv(&[])).unwrap();
+        let err = a.required("gpu").unwrap_err();
+        assert!(err.contains("--gpu"));
+    }
+}

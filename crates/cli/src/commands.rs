@@ -1,0 +1,383 @@
+//! Subcommand implementations. Every command returns its output as a
+//! `String` so the whole surface is unit-testable without process
+//! spawning.
+
+use crate::args::Args;
+use oriole_arch::{Gpu, ALL_GPUS};
+use oriole_codegen::{compile, CompilerFlags, PreferredL1, TuningParams};
+use oriole_core::{analyze, predict_time, report, suggest};
+use oriole_kernels::KernelId;
+use oriole_sim::{measure, simulate, TrialProtocol};
+use oriole_tuner::{
+    measurements_csv, parse_spec, replay, AnnealingSearch, Evaluator, ExhaustiveSearch,
+    GeneticSearch, HybridSearch, NelderMeadSearch, RandomSearch, SearchSpace, Searcher,
+    StaticSearch,
+};
+use std::fmt::Write as _;
+
+/// Dispatches a full command line.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some(cmd) = argv.first() else {
+        return Ok(usage());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "gpus" => cmd_gpus(),
+        "analyze" => cmd_analyze(&args),
+        "occupancy" => cmd_occupancy(&args),
+        "suggest" => cmd_suggest(&args),
+        "simulate" => cmd_simulate(&args),
+        "disasm" => cmd_disasm(&args),
+        "tune" => cmd_tune(&args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn usage() -> String {
+    "\
+oriole — autotuning GPU kernels via static and predictive analysis
+
+commands:
+  gpus                                   list the Table I GPU database
+  analyze   --kernel K --gpu G --n N     full static analysis report
+  occupancy --gpu G --tc T [--regs R --smem S]
+                                         occupancy-calculator panels
+  suggest   --kernel K --gpu G [--n N]   Table VII parameter suggestion
+  simulate  --kernel K --gpu G --n N     one simulated execution
+  disasm    --kernel K --gpu G           print the disassembly listing
+  tune      --kernel K --gpu G --strategy S
+                                         run the autotuner (S: exhaustive,
+                                         random, anneal, genetic,
+                                         neldermead, static, static-rules,
+                                         hybrid [--dial 0.05])
+
+common variant flags: --tc --bc --uif --pl --sc --fast-math
+tune flags: --budget B --sizes 32,64,... --spec FILE --seed N --csv
+"
+    .to_string()
+}
+
+fn parse_gpu(args: &Args) -> Result<Gpu, String> {
+    let name = args.required("gpu")?;
+    Gpu::parse(name).ok_or_else(|| format!("unknown GPU `{name}` (try M2050/K20/M40/P100)"))
+}
+
+fn parse_kernel(args: &Args) -> Result<KernelId, String> {
+    let name = args.required("kernel")?;
+    KernelId::parse(name)
+        .ok_or_else(|| format!("unknown kernel `{name}` (try atax/bicg/ex14fj/matvec2d)"))
+}
+
+fn parse_params(args: &Args) -> Result<TuningParams, String> {
+    let pl_kb: u32 = args.num_or("pl", 16)?;
+    Ok(TuningParams {
+        tc: args.num_or("tc", 128)?,
+        bc: args.num_or("bc", 48)?,
+        uif: args.num_or("uif", 1)?,
+        pl: PreferredL1::from_kb(pl_kb).ok_or_else(|| format!("--pl must be 16 or 48, got {pl_kb}"))?,
+        sc: args.num_or("sc", 1)?,
+        cflags: CompilerFlags { fast_math: args.switch("fast-math") },
+    })
+}
+
+fn cmd_gpus() -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:<8} {:>4} {:>4} {:>6} {:>10} {:>9} {:>10} {:>9}",
+        "name", "family", "cc", "SMs", "cores", "clock MHz", "regs/SM", "shmem/SM", "warps/SM"
+    );
+    for gpu in ALL_GPUS {
+        let s = gpu.spec();
+        let _ = writeln!(
+            out,
+            "{:<7} {:<8} {:>4} {:>4} {:>6} {:>10} {:>9} {:>10} {:>9}",
+            s.name,
+            s.family.to_string(),
+            s.compute_capability.to_string(),
+            s.multiprocessors,
+            s.total_cores(),
+            s.gpu_clock_mhz,
+            s.regfile_per_mp,
+            s.shmem_per_mp,
+            s.warps_per_mp
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, String> {
+    let gpu = parse_gpu(args)?;
+    let kernel_id = parse_kernel(args)?;
+    let n: u64 = args.num_or("n", 128)?;
+    let params = parse_params(args)?;
+    let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
+    let analysis = analyze(&kernel, n);
+    Ok(analysis.render())
+}
+
+fn cmd_occupancy(args: &Args) -> Result<String, String> {
+    let gpu = parse_gpu(args)?;
+    let tc: u32 = args.num_or("tc", 128)?;
+    let regs: u32 = args.num_or("regs", 0)?;
+    let smem: u32 = args.num_or("smem", 0)?;
+    let spec = gpu.spec();
+    let sug = suggest::suggest_from(spec, regs.max(1), smem);
+    Ok(report::occupancy_calculator_report(spec, "<manual>", tc, regs, smem, &sug))
+}
+
+fn cmd_suggest(args: &Args) -> Result<String, String> {
+    let gpu = parse_gpu(args)?;
+    let kernel_id = parse_kernel(args)?;
+    let n: u64 = args.num_or("n", 128)?;
+    let params = parse_params(args)?;
+    let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
+    let analysis = analyze(&kernel, n);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} on {}: {}", kernel_id, gpu, analysis.suggestion.row());
+    let threads: Vec<String> = analysis.rule_threads.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "rule-based band (intensity {:.2}): {{{}}}",
+        analysis.mix.intensity,
+        threads.join(",")
+    );
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let gpu = parse_gpu(args)?;
+    let kernel_id = parse_kernel(args)?;
+    let n: u64 = args.num_or("n", 128)?;
+    let trials: u32 = args.num_or("trials", 10)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let params = parse_params(args)?;
+    let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
+    let r = simulate(&kernel, n).map_err(|e| e.to_string())?;
+    let t = measure(&kernel, n, trials, seed).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{kernel_id} on {gpu} at N={n} with {params}");
+    let _ = writeln!(
+        out,
+        "model time {:.4} ms ({} bound); occupancy {:.2} ({} blocks/SM, {} busy SMs, {} waves)",
+        r.time_ms, r.bound, r.occupancy.occupancy, r.occupancy.active_blocks, r.busy_sms, r.waves
+    );
+    let _ = writeln!(
+        out,
+        "{} trials (5th selected): {:.4} ms",
+        trials,
+        t.selected(TrialProtocol::FifthOfTen)
+    );
+    Ok(out)
+}
+
+fn cmd_disasm(args: &Args) -> Result<String, String> {
+    let gpu = parse_gpu(args)?;
+    let kernel_id = parse_kernel(args)?;
+    let n: u64 = args.num_or("n", 128)?;
+    let params = parse_params(args)?;
+    let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
+    Ok(kernel.disassembly())
+}
+
+fn cmd_tune(args: &Args) -> Result<String, String> {
+    let gpu = parse_gpu(args)?;
+    let kernel_id = parse_kernel(args)?;
+    let sizes = args.u64_list_or("sizes", &kernel_id.input_sizes())?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let strategy = args.required("strategy")?.to_string();
+
+    let space = match args.optional("spec") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_spec(&text).map_err(|e| e.to_string())?
+        }
+        None => SearchSpace::paper_default(),
+    };
+    let default_budget = match strategy.as_str() {
+        "exhaustive" | "static" | "static-rules" => space.len(),
+        _ => space.len() / 10,
+    };
+    let budget: usize = args.num_or("budget", default_budget)?;
+
+    let builder = move |n: u64| kernel_id.ast(n);
+    let evaluator = Evaluator::new(&builder, gpu.spec(), &sizes);
+
+    let run = |searcher: &mut dyn Searcher| searcher.search(&space, &evaluator, budget);
+    let (result, extra) = match strategy.as_str() {
+        "exhaustive" => (run(&mut ExhaustiveSearch), String::new()),
+        "random" => (run(&mut RandomSearch { seed }), String::new()),
+        "anneal" => (run(&mut AnnealingSearch { seed, ..Default::default() }), String::new()),
+        "genetic" => (run(&mut GeneticSearch { seed, ..Default::default() }), String::new()),
+        "neldermead" => {
+            (run(&mut NelderMeadSearch { seed, ..Default::default() }), String::new())
+        }
+        "static" | "static-rules" => {
+            let n_probe = sizes[sizes.len() / 2];
+            let probe = compile(
+                &kernel_id.ast(n_probe),
+                gpu.spec(),
+                TuningParams::with_geometry(128, 48),
+            )
+            .map_err(|e| e.to_string())?;
+            let analysis = analyze(&probe, n_probe);
+            let level = if strategy == "static" {
+                oriole_tuner::search::PruneLevel::Static
+            } else {
+                oriole_tuner::search::PruneLevel::RuleBased
+            };
+            let mut s = StaticSearch::new(analysis, level);
+            let result = s.search(&space, &evaluator, budget);
+            let report = s.report.expect("search ran");
+            let extra = format!(
+                "static pruning: {} -> {} variants ({:.1}% improvement), threads {{{}}}\n",
+                report.full_space,
+                report.pruned_space,
+                report.improvement * 100.0,
+                report
+                    .threads_kept
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            (result, extra)
+        }
+        "hybrid" => {
+            let dial: f64 = args.num_or("dial", 0.05)?;
+            let n_probe = sizes[sizes.len() / 2];
+            let predictor = move |p: oriole_codegen::TuningParams| {
+                compile(&kernel_id.ast(n_probe), gpu.spec(), p)
+                    .ok()
+                    .map(|k| predict_time(&k.program, k.geometry(n_probe)))
+            };
+            let mut s = HybridSearch::new(predictor, dial);
+            let result = s.search(&space, &evaluator, budget);
+            // Replay the log against the same evaluator to validate the
+            // static pruning decisions (§VII).
+            let validation = replay(&s.log, &evaluator, 0.05);
+            let extra = format!(
+                "hybrid dial {:.0}%: {} decisions logged; prediction agreement {:.2}; {}\n",
+                dial * 100.0,
+                s.log.entries().len(),
+                validation.prediction_agreement,
+                match validation.pruned_winner {
+                    Some((p, t)) => format!("pruned winner found: {p} at {t:.4} ms"),
+                    None => "no pruned winner (static decisions validated)".to_string(),
+                }
+            );
+            (result, extra)
+        }
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{kernel_id} on {gpu}, sizes {sizes:?}, strategy {strategy}");
+    out.push_str(&extra);
+    let _ = writeln!(
+        out,
+        "best: {} -> {:.4} ms total ({} evaluations, {} unique)",
+        result.best,
+        result.best_time,
+        result.evaluations,
+        evaluator.unique_evaluations()
+    );
+    if args.switch("csv") && !result.trace.is_empty() {
+        let measurements: Vec<_> =
+            result.trace.iter().map(|(p, _)| evaluator.evaluate(*p)).collect();
+        out.push_str(&measurements_csv(&measurements));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(line: &str) -> Result<String, String> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(call("help").unwrap().contains("oriole"));
+        assert!(run(&[]).unwrap().contains("commands:"));
+    }
+
+    #[test]
+    fn gpus_lists_all_four() {
+        let out = call("gpus").unwrap();
+        for name in ["M2050", "K20", "M40", "P100"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn analyze_produces_report() {
+        let out = call("analyze --kernel atax --gpu k20 --n 128").unwrap();
+        assert!(out.contains("static analysis"));
+        assert!(out.contains("suggestion:"));
+    }
+
+    #[test]
+    fn occupancy_panels() {
+        let out = call("occupancy --gpu fermi --tc 192 --regs 27").unwrap();
+        assert!(out.contains("occupancy vs block size"));
+    }
+
+    #[test]
+    fn suggest_row() {
+        let out = call("suggest --kernel matvec2d --gpu p100").unwrap();
+        assert!(out.contains("T*={64,128,256,512,1024}"));
+    }
+
+    #[test]
+    fn simulate_reports_time() {
+        let out = call("simulate --kernel bicg --gpu m40 --n 64 --tc 256 --bc 24").unwrap();
+        assert!(out.contains("model time"));
+        assert!(out.contains("5th selected"));
+    }
+
+    #[test]
+    fn disasm_is_parseable() {
+        let out = call("disasm --kernel atax --gpu k20 --uif 2 --fast-math").unwrap();
+        assert!(oriole_ir::text::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn tune_random_small() {
+        let out =
+            call("tune --kernel atax --gpu k20 --strategy random --budget 6 --sizes 32").unwrap();
+        assert!(out.contains("best:"), "{out}");
+    }
+
+    #[test]
+    fn tune_static_reports_pruning() {
+        let out = call("tune --kernel atax --gpu k20 --strategy static-rules --sizes 32")
+            .unwrap();
+        assert!(out.contains("static pruning: 5120 -> 320"), "{out}");
+    }
+
+    #[test]
+    fn tune_hybrid_reports_validation() {
+        let out = call(
+            "tune --kernel atax --gpu k20 --strategy hybrid --dial 0.01 --sizes 32",
+        )
+        .unwrap();
+        assert!(out.contains("hybrid dial 1%"), "{out}");
+        assert!(out.contains("prediction agreement"), "{out}");
+        assert!(out.contains("best:"), "{out}");
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(call("analyze --kernel gemm --gpu k20").is_err());
+        assert!(call("analyze --kernel atax --gpu volta").is_err());
+        assert!(call("frobnicate").is_err());
+        assert!(call("tune --kernel atax --gpu k20 --strategy magic").is_err());
+        assert!(call("simulate --kernel atax --gpu k20 --pl 32").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! `oriole` — command-line front end to the static analyzer, simulator
+//! and autotuner.
+//!
+//! ```text
+//! oriole gpus
+//! oriole analyze  --kernel atax --gpu k20 --n 256 [--tc 128 --bc 48 --uif 1 --fast-math]
+//! oriole occupancy --gpu k20 --tc 256 [--regs 27 --smem 3072]
+//! oriole suggest  --kernel atax --gpu k20 [--n 128]
+//! oriole simulate --kernel atax --gpu k20 --n 256 [--tc 128 --bc 48 ...]
+//! oriole disasm   --kernel atax --gpu k20 [--tc 128 --uif 2 --fast-math]
+//! oriole tune     --kernel atax --gpu k20 --strategy static [--budget 640]
+//!                 [--sizes 32,64,128,256,512] [--spec path/to/spec]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `oriole help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The compilation driver: AST + tuning point + target GPU →
+//! [`CompiledKernel`].
+
+use crate::params::TuningParams;
+use crate::regalloc;
+use crate::transform;
+use oriole_arch::{validate_launch, GpuSpec, LaunchCheck};
+use oriole_ir::lower::{lower, LowerOptions};
+use oriole_ir::{KernelAst, LaunchGeometry, Program};
+use std::fmt;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The tuning parameters are invalid for the target device.
+    InvalidParams(Vec<String>),
+    /// The kernel's shared-memory requirement exceeds the per-block limit
+    /// (Eq. 5 case 1).
+    SharedMemExceeded {
+        /// Bytes the kernel needs for this block size.
+        needed: u32,
+        /// Device per-block limit.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidParams(problems) => {
+                write!(f, "invalid tuning parameters: {}", problems.join("; "))
+            }
+            CompileError::SharedMemExceeded { needed, limit } => {
+                write!(f, "kernel needs {needed} B shared memory, device allows {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled kernel variant: the lowered program with `ptxas`-style
+/// resource metadata, plus everything the simulator and analyzer need to
+/// reason about the launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    /// The tuning point this variant was compiled for.
+    pub params: TuningParams,
+    /// Target device.
+    pub gpu: &'static GpuSpec,
+    /// Lowered program; `meta` carries regs/thread, static shared memory
+    /// and spill bytes.
+    pub program: Program,
+    /// Shared memory per block (depends on `TC` for block-scaled tiles).
+    pub smem_per_block: u32,
+    /// Uncapped register demand (diagnostics).
+    pub reg_demand: u32,
+}
+
+impl CompiledKernel {
+    /// The launch geometry for problem size `n`.
+    pub fn geometry(&self, n: u64) -> LaunchGeometry {
+        LaunchGeometry::new(n, self.params.tc, self.params.bc)
+    }
+
+    /// Registers per thread (`R_u` in the occupancy equations).
+    pub fn regs_per_thread(&self) -> u32 {
+        self.program.meta.regs_per_thread
+    }
+
+    /// The textual disassembly of this variant — the artifact the static
+    /// analyzer consumes, as `nvdisasm` output is consumed in the paper.
+    pub fn disassembly(&self) -> String {
+        oriole_ir::text::emit(&self.program)
+    }
+}
+
+/// Compiles `ast` for `gpu` at tuning point `params`.
+///
+/// Pipeline: validate → unroll (`UIF`) → lower (with `CFLAGS`) →
+/// register-allocate → fill metadata. Deterministic: identical inputs
+/// produce identical [`CompiledKernel`]s.
+pub fn compile(
+    ast: &KernelAst,
+    gpu: &'static GpuSpec,
+    params: TuningParams,
+) -> Result<CompiledKernel, CompileError> {
+    let problems = params.problems(gpu);
+    if !problems.is_empty() {
+        return Err(CompileError::InvalidParams(problems));
+    }
+
+    let smem = ast.shared_bytes(params.tc);
+    if smem > gpu.shmem_per_block {
+        return Err(CompileError::SharedMemExceeded { needed: smem, limit: gpu.shmem_per_block });
+    }
+
+    let transformed = transform::unroll(ast, params.uif);
+    let mut program = lower(
+        &transformed,
+        gpu.family,
+        LowerOptions { fast_math: params.cflags.fast_math },
+    );
+    let alloc = regalloc::allocate(&program, gpu.regs_per_thread_max);
+    program.meta.regs_per_thread = alloc.regs_per_thread;
+    program.meta.smem_static = smem;
+    program.meta.spill_bytes = alloc.spill_bytes;
+
+    // Defensive: the launch itself must be legal now that resources are
+    // known (registers were capped by the allocator, so only pathological
+    // inputs can fail here).
+    debug_assert!(
+        validate_launch(
+            gpu,
+            LaunchCheck {
+                threads_per_block: params.tc,
+                blocks: params.bc,
+                regs_per_thread: alloc.regs_per_thread,
+                shmem_per_block: smem,
+            }
+        )
+        .is_ok()
+    );
+
+    Ok(CompiledKernel { params, gpu, program, smem_per_block: smem, reg_demand: alloc.demand })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CompilerFlags, PreferredL1};
+    use oriole_arch::Gpu;
+    use oriole_kernels::KernelId;
+
+    fn params(tc: u32, bc: u32, uif: u32, fast: bool) -> TuningParams {
+        TuningParams {
+            tc,
+            bc,
+            uif,
+            pl: PreferredL1::Kb16,
+            sc: 1,
+            cflags: CompilerFlags { fast_math: fast },
+        }
+    }
+
+    #[test]
+    fn compiles_all_kernels_on_all_gpus() {
+        for kid in oriole_kernels::ALL_KERNELS {
+            let ast = kid.ast(128);
+            for gpu in oriole_arch::ALL_GPUS {
+                let c = compile(&ast, gpu.spec(), params(128, 48, 1, false))
+                    .unwrap_or_else(|e| panic!("{kid} on {gpu}: {e}"));
+                assert!(c.regs_per_thread() > 0);
+                assert!(c.program.validate().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let ast = KernelId::Atax.ast(64);
+        let e = compile(&ast, Gpu::K20.spec(), params(100, 48, 1, false)).unwrap_err();
+        assert!(matches!(e, CompileError::InvalidParams(_)));
+        assert!(e.to_string().contains("warp"));
+    }
+
+    #[test]
+    fn shared_memory_overflow_rejected() {
+        // A kernel demanding 64 B of shared memory per thread overflows
+        // the 48 KiB block limit at TC=1024.
+        let mut ast = KernelId::MatVec2D.ast(64);
+        ast.shared[0].elems = 16; // 64 B/thread
+        let e = compile(&ast, Gpu::K20.spec(), params(1024, 24, 1, false)).unwrap_err();
+        assert!(matches!(e, CompileError::SharedMemExceeded { .. }));
+        // Small blocks still fit.
+        assert!(compile(&ast, Gpu::K20.spec(), params(128, 24, 1, false)).is_ok());
+    }
+
+    #[test]
+    fn unroll_factor_changes_program_and_registers() {
+        let ast = KernelId::Atax.ast(128);
+        let gpu = Gpu::K20.spec();
+        let u1 = compile(&ast, gpu, params(128, 48, 1, false)).unwrap();
+        let u4 = compile(&ast, gpu, params(128, 48, 4, false)).unwrap();
+        assert!(u4.regs_per_thread() >= u1.regs_per_thread());
+        assert!(u4.program.static_len() > u1.program.static_len());
+    }
+
+    #[test]
+    fn fast_math_shrinks_ex14fj() {
+        let ast = KernelId::Ex14Fj.ast(32);
+        let gpu = Gpu::M40.spec();
+        let full = compile(&ast, gpu, params(256, 48, 1, false)).unwrap();
+        let fast = compile(&ast, gpu, params(256, 48, 1, true)).unwrap();
+        assert!(fast.program.static_len() < full.program.static_len());
+    }
+
+    #[test]
+    fn smem_scales_with_tc_for_matvec() {
+        let ast = KernelId::MatVec2D.ast(128);
+        let gpu = Gpu::P100.spec();
+        let small = compile(&ast, gpu, params(64, 48, 1, false)).unwrap();
+        let large = compile(&ast, gpu, params(1024, 48, 1, false)).unwrap();
+        // Block-scaled reduction slots (4 B/thread) plus the fixed
+        // 1 KiB x-tile.
+        assert_eq!(small.smem_per_block, 64 * 4 + 1024);
+        assert_eq!(large.smem_per_block, 1024 * 4 + 1024);
+        assert_eq!(small.program.meta.smem_static, small.smem_per_block);
+    }
+
+    #[test]
+    fn deterministic_compilation() {
+        let ast = KernelId::Bicg.ast(64);
+        let a = compile(&ast, Gpu::M2050.spec(), params(192, 96, 3, true)).unwrap();
+        let b = compile(&ast, Gpu::M2050.spec(), params(192, 96, 3, true)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disassembly_parses_back() {
+        let ast = KernelId::MatVec2D.ast(64);
+        let c = compile(&ast, Gpu::K20.spec(), params(256, 48, 2, false)).unwrap();
+        let text = c.disassembly();
+        let parsed = oriole_ir::text::parse(&text).expect("disassembly parses");
+        assert_eq!(parsed, c.program);
+    }
+
+    #[test]
+    fn fermi_register_cap_respected() {
+        // Heavy unrolling on Fermi must never report more than 63 regs.
+        let ast = KernelId::Ex14Fj.ast(64);
+        let c = compile(&ast, Gpu::M2050.spec(), params(512, 96, 5, false)).unwrap();
+        assert!(c.regs_per_thread() <= 63);
+    }
+
+    #[test]
+    fn geometry_accessor() {
+        let ast = KernelId::Atax.ast(256);
+        let c = compile(&ast, Gpu::K20.spec(), params(128, 24, 1, false)).unwrap();
+        let g = c.geometry(256);
+        assert_eq!((g.n, g.tc, g.bc), (256, 128, 24));
+    }
+}

@@ -1,0 +1,214 @@
+//! Source-level transformations: loop unrolling.
+//!
+//! Orio's `UIF` parameter unrolls the innermost loops of the annotated C
+//! kernel before CUDA generation. Unrolling by `u` has two effects this
+//! module reproduces at the AST level:
+//!
+//! 1. **Loop overhead drops.** The transformed loop runs `⌈trips/u⌉`
+//!    iterations, so induction updates, exit tests and branches execute
+//!    `u×` less often.
+//! 2. **Register pressure grows.** A real scheduler interleaves the
+//!    unrolled copies — all loads first, then arithmetic, then stores —
+//!    so `u` loaded values are live simultaneously. We perform the same
+//!    reorder (load hoisting), which the register allocator then observes
+//!    as longer live ranges.
+//!
+//! Loops whose [`Loop::unrollable`](oriole_ir::Loop) flag is false (grid-stride drivers,
+//! reduction trees with barriers) are left untouched, as Orio's
+//! annotations restrict unrolling to the innermost compute loops.
+
+use oriole_ir::{KernelAst, Loop, SizeExpr, Stmt, TripCount};
+
+/// Applies unroll-and-interleave with factor `u` to every unrollable loop
+/// of the kernel. `u = 1` returns the AST unchanged.
+pub fn unroll(ast: &KernelAst, u: u32) -> KernelAst {
+    if u <= 1 {
+        return ast.clone();
+    }
+    let mut out = ast.clone();
+    out.body = unroll_stmts(&out.body, u);
+    out
+}
+
+fn unroll_stmts(stmts: &[Stmt], u: u32) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Loop(l) => Stmt::Loop(unroll_loop(l, u)),
+            Stmt::If(b) => {
+                let mut nb = b.clone();
+                nb.then_body = unroll_stmts(&b.then_body, u);
+                nb.else_body = unroll_stmts(&b.else_body, u);
+                Stmt::If(nb)
+            }
+            other => other.clone(),
+        })
+        .collect()
+}
+
+fn unroll_loop(l: &Loop, u: u32) -> Loop {
+    if !l.unrollable {
+        // Recurse: inner loops may still be unrollable.
+        return Loop {
+            trip: l.trip,
+            unrollable: false,
+            body: unroll_stmts(&l.body, u),
+        };
+    }
+    // Only straight-line bodies are interleaved; bodies with nested
+    // control flow are duplicated in sequence (classic unrolling without
+    // scheduling).
+    let straight_line = l
+        .body
+        .iter()
+        .all(|s| matches!(s, Stmt::Op(_) | Stmt::Load(_) | Stmt::Store(_)));
+    let new_trip = divide_trip(l.trip, u);
+    let body = if straight_line {
+        interleave_copies(&l.body, u)
+    } else {
+        let inner = unroll_stmts(&l.body, u);
+        let mut out = Vec::with_capacity(inner.len() * u as usize);
+        for _ in 0..u {
+            out.extend(inner.iter().cloned());
+        }
+        out
+    };
+    Loop { trip: new_trip, unrollable: true, body }
+}
+
+/// `⌈trips/u⌉`, symbolically.
+fn divide_trip(trip: TripCount, u: u32) -> TripCount {
+    let uf = f64::from(u);
+    match trip {
+        TripCount::Const(c) => TripCount::Const(c.div_ceil(u64::from(u))),
+        TripCount::Size(s) => TripCount::Size(SizeExpr::new(s.coeff / uf, s.power)),
+        TripCount::GridStride(s) => TripCount::GridStride(SizeExpr::new(s.coeff / uf, s.power)),
+        TripCount::BlockShare(s) => TripCount::BlockShare(SizeExpr::new(s.coeff / uf, s.power)),
+    }
+}
+
+/// Schedules `u` copies of a straight-line body as loads → ops → stores,
+/// modeling the software pipelining a real scheduler performs on unrolled
+/// iterations.
+fn interleave_copies(body: &[Stmt], u: u32) -> Vec<Stmt> {
+    let mut loads = Vec::new();
+    let mut ops = Vec::new();
+    let mut stores = Vec::new();
+    for _ in 0..u {
+        for s in body {
+            match s {
+                Stmt::Load(_) => loads.push(s.clone()),
+                Stmt::Store(_) => stores.push(s.clone()),
+                _ => ops.push(s.clone()),
+            }
+        }
+    }
+    loads.into_iter().chain(ops).chain(stores).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oriole_ir::{AccessPattern, AluOp, MemSpace};
+
+    fn dot_loop(trips: TripCount, unrollable: bool) -> Loop {
+        Loop {
+            trip: trips,
+            unrollable,
+            body: vec![
+                Stmt::load(MemSpace::Global, AccessPattern::Coalesced, 1),
+                Stmt::ops(AluOp::FmaF32, 1),
+                Stmt::store(MemSpace::Global, AccessPattern::Coalesced, 1),
+            ],
+        }
+    }
+
+    fn ast_with(l: Loop) -> KernelAst {
+        let mut k = KernelAst::new("t");
+        k.body = vec![Stmt::Loop(l)];
+        k
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let k = ast_with(dot_loop(TripCount::Size(SizeExpr::N), true));
+        assert_eq!(unroll(&k, 1), k);
+        assert_eq!(unroll(&k, 0), k);
+    }
+
+    #[test]
+    fn unroll_divides_trip_and_duplicates_body() {
+        let k = ast_with(dot_loop(TripCount::Size(SizeExpr::N), true));
+        let u4 = unroll(&k, 4);
+        let Stmt::Loop(l) = &u4.body[0] else { panic!() };
+        // N/4 iterations.
+        assert_eq!(l.trip.eval(128, 1, 1), 32.0);
+        // 3 stmts × 4 copies.
+        assert_eq!(l.body.len(), 12);
+        // Interleaved: all loads first, all stores last.
+        assert!(matches!(l.body[0], Stmt::Load(_)));
+        assert!(matches!(l.body[3], Stmt::Load(_)));
+        assert!(matches!(l.body[4], Stmt::Op(_)));
+        assert!(matches!(l.body[11], Stmt::Store(_)));
+    }
+
+    #[test]
+    fn const_trip_rounds_up() {
+        let k = ast_with(dot_loop(TripCount::Const(10), true));
+        let u4 = unroll(&k, 4);
+        let Stmt::Loop(l) = &u4.body[0] else { panic!() };
+        assert_eq!(l.trip, TripCount::Const(3));
+    }
+
+    #[test]
+    fn non_unrollable_loops_untouched_but_recursed() {
+        let inner = dot_loop(TripCount::Size(SizeExpr::N), true);
+        let outer = Loop {
+            trip: TripCount::GridStride(SizeExpr::N),
+            unrollable: false,
+            body: vec![Stmt::Loop(inner)],
+        };
+        let k = ast_with(outer);
+        let u2 = unroll(&k, 2);
+        let Stmt::Loop(o) = &u2.body[0] else { panic!() };
+        // Outer trip unchanged.
+        assert_eq!(o.trip, TripCount::GridStride(SizeExpr::N));
+        // Inner loop unrolled.
+        let Stmt::Loop(i) = &o.body[0] else { panic!() };
+        assert_eq!(i.body.len(), 6);
+        assert_eq!(i.trip.eval(64, 1, 1), 32.0);
+    }
+
+    #[test]
+    fn total_work_preserved() {
+        // trips × body-ops invariant: N iterations of 1 FMA = N/u of u.
+        let k = ast_with(dot_loop(TripCount::Size(SizeExpr::N), true));
+        for u in [1u32, 2, 4, 5] {
+            let uk = unroll(&k, u);
+            let Stmt::Loop(l) = &uk.body[0] else { panic!() };
+            let fmas_per_iter = l
+                .body
+                .iter()
+                .filter(|s| matches!(s, Stmt::Op(o) if o.op == AluOp::FmaF32))
+                .count() as f64;
+            let total = l.trip.eval(640, 1, 1) * fmas_per_iter;
+            assert_eq!(total, 640.0, "u={u}");
+        }
+    }
+
+    #[test]
+    fn branch_bodies_are_recursed() {
+        let mut k = KernelAst::new("b");
+        k.body = vec![Stmt::If(oriole_ir::Branch {
+            divergence: oriole_ir::DivergenceKind::Uniform,
+            taken_fraction: 0.5,
+            then_body: vec![Stmt::Loop(dot_loop(TripCount::Const(8), true))],
+            else_body: vec![],
+        })];
+        let u2 = unroll(&k, 2);
+        let Stmt::If(b) = &u2.body[0] else { panic!() };
+        let Stmt::Loop(l) = &b.then_body[0] else { panic!() };
+        assert_eq!(l.trip, TripCount::Const(4));
+        assert_eq!(l.body.len(), 6);
+    }
+}

@@ -1,0 +1,513 @@
+//! Control-flow-graph analyses.
+//!
+//! The paper's static analyzer "builds a CFG to help understand flow
+//! divergence" (§V, comparison with STATuner). This module provides the
+//! graph machinery: predecessor/successor maps, reverse postorder,
+//! dominators and postdominators (classic iterative dataflow), natural
+//! loop detection, and — the piece the divergence model needs —
+//! *divergent regions*: the blocks between a thread-dependent branch and
+//! its immediate postdominator, which a warp executes serially for both
+//! sides.
+
+use crate::block::{BlockId, Program, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// A natural loop discovered in the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// Source of the back edge (the latch).
+    pub latch: BlockId,
+    /// All blocks in the loop body, header and latch included.
+    pub body: HashSet<BlockId>,
+}
+
+/// A region of blocks a warp executes serially when a divergent branch
+/// splits its lanes (paper Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergentRegion {
+    /// The block whose terminator diverges.
+    pub branch_block: BlockId,
+    /// The immediate postdominator where lanes reconverge (`None` when
+    /// control reaches exit before reconverging).
+    pub reconvergence: Option<BlockId>,
+    /// Blocks strictly between branch and reconvergence point.
+    pub body: HashSet<BlockId>,
+}
+
+/// Control-flow graph over a [`Program`]'s basic blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    n: usize,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    /// Immediate dominator of each block (entry's is itself).
+    idom: Vec<BlockId>,
+    /// Immediate postdominator (`None` for exit blocks or blocks that
+    /// cannot reach an exit).
+    ipostdom: Vec<Option<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG and runs the dominator analyses.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, b) in program.blocks.iter().enumerate() {
+            let from = BlockId(i as u32);
+            for s in b.term.successors() {
+                succs[i].push(s);
+                preds[s.0 as usize].push(from);
+            }
+        }
+        let rpo = reverse_postorder(n, &succs);
+        let idom = dominators(n, &preds, &rpo);
+        let ipostdom = postdominators(n, &succs, program);
+        Cfg { n, succs, preds, idom, ipostdom, rpo }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Successors of a block.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessors of a block.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Blocks in reverse postorder from the entry.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Immediate dominator (entry maps to itself).
+    pub fn idom(&self, b: BlockId) -> BlockId {
+        self.idom[b.0 as usize]
+    }
+
+    /// Immediate postdominator, if any.
+    pub fn ipostdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipostdom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom(cur);
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+
+    /// Natural loops: back edges `latch → header` where the header
+    /// dominates the latch (this includes the explicit
+    /// [`Terminator::LoopBack`] edges lowering produces and any
+    /// parser-constructed equivalents).
+    pub fn natural_loops(&self, program: &Program) -> Vec<NaturalLoop> {
+        let mut loops = Vec::new();
+        for (i, b) in program.blocks.iter().enumerate() {
+            let latch = BlockId(i as u32);
+            for target in b.term.successors() {
+                if self.dominates(target, latch) {
+                    loops.push(NaturalLoop {
+                        header: target,
+                        latch,
+                        body: self.loop_body(target, latch),
+                    });
+                }
+            }
+        }
+        loops.sort_by_key(|l| (l.header, l.latch));
+        loops
+    }
+
+    /// Blocks of the natural loop for back edge `latch → header`:
+    /// header plus all blocks that reach the latch without passing
+    /// through the header.
+    fn loop_body(&self, header: BlockId, latch: BlockId) -> HashSet<BlockId> {
+        let mut body = HashSet::from([header, latch]);
+        let mut stack = vec![latch];
+        while let Some(b) = stack.pop() {
+            for &p in self.predecessors(b) {
+                if !body.contains(&p) {
+                    body.insert(p);
+                    stack.push(p);
+                }
+            }
+        }
+        // Keep only blocks dominated by the header (well-formed natural
+        // loop membership; guards against irreducible shapes from
+        // hand-written disassembly).
+        body.retain(|&b| self.dominates(header, b));
+        body
+    }
+
+    /// Divergent regions: for every divergent conditional branch, the set
+    /// of blocks between it and its reconvergence point.
+    pub fn divergent_regions(&self, program: &Program) -> Vec<DivergentRegion> {
+        let mut regions = Vec::new();
+        for (i, b) in program.blocks.iter().enumerate() {
+            let branch_block = BlockId(i as u32);
+            let Terminator::CondBranch { divergent: true, .. } = &b.term else {
+                continue;
+            };
+            let reconvergence = self.ipostdom(branch_block);
+            let mut body = HashSet::new();
+            // Walk forward from each successor until the reconvergence
+            // point (or exit).
+            for s in b.term.successors() {
+                let mut stack = vec![s];
+                while let Some(cur) = stack.pop() {
+                    if Some(cur) == reconvergence || cur == branch_block {
+                        continue;
+                    }
+                    if body.insert(cur) {
+                        stack.extend(self.successors(cur).iter().copied());
+                    }
+                }
+            }
+            regions.push(DivergentRegion { branch_block, reconvergence, body });
+        }
+        regions
+    }
+}
+
+/// Reverse postorder over the successor graph from block 0.
+fn reverse_postorder(n: usize, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS with explicit phase marking.
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
+    if n > 0 {
+        stack.push((BlockId(0), 0));
+        visited[0] = true;
+    }
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let ss = &succs[b.0 as usize];
+        if *next < ss.len() {
+            let s = ss[*next];
+            *next += 1;
+            if !visited[s.0 as usize] {
+                visited[s.0 as usize] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(b);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Cooper–Harvey–Kennedy iterative dominators.
+fn dominators(n: usize, preds: &[Vec<BlockId>], rpo: &[BlockId]) -> Vec<BlockId> {
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    if n == 0 {
+        return Vec::new();
+    }
+    idom[0] = Some(BlockId(0));
+    let rpo_index: HashMap<BlockId, usize> =
+        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = idom[a.0 as usize].expect("processed");
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = idom[b.0 as usize].expect("processed");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() || !rpo_index.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Unreachable blocks dominate themselves by convention.
+    (0..n)
+        .map(|i| idom[i].unwrap_or(BlockId(i as u32)))
+        .collect()
+}
+
+/// Postdominators via dominators of the reversed graph, using a virtual
+/// exit that all `Ret` blocks feed.
+fn postdominators(
+    n: usize,
+    succs: &[Vec<BlockId>],
+    program: &Program,
+) -> Vec<Option<BlockId>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Build the reversed graph with a virtual exit node at index n.
+    let virt = n;
+    let mut rsuccs: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+    let mut rpreds: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+    // Virtual exit's "successors" in the reversed graph are the Ret
+    // blocks (edges exit → ret-block).
+    for (i, b) in program.blocks.iter().enumerate() {
+        if matches!(b.term, Terminator::Ret) {
+            rsuccs[virt].push(BlockId(i as u32));
+            rpreds[i].push(BlockId(virt as u32));
+        }
+    }
+    for (i, ss) in succs.iter().enumerate() {
+        for s in ss {
+            // Original edge i → s becomes reversed edge s → i.
+            rsuccs[s.0 as usize].push(BlockId(i as u32));
+            rpreds[i].push(*s);
+        }
+    }
+    // Reverse graph entry is the virtual exit. Renumber so the entry is
+    // index 0 by swapping roles: run RPO/dominators over indices with
+    // start = virt.
+    let rpo = {
+        let mut visited = vec![false; n + 1];
+        let mut postorder = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(usize, usize)> = vec![(virt, 0)];
+        visited[virt] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &rsuccs[b];
+            if *next < ss.len() {
+                let s = ss[*next].0 as usize;
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(BlockId(b as u32));
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        postorder
+    };
+    let rpo_index: HashMap<BlockId, usize> =
+        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n + 1];
+    idom[virt] = Some(BlockId(virt as u32));
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = idom[a.0 as usize].expect("processed");
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = idom[b.0 as usize].expect("processed");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &rpreds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() || !rpo_index.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|i| match idom[i] {
+            Some(d) if d.0 as usize != virt => Some(d),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{
+        AluOp, Branch, DivergenceKind, KernelAst, Loop, SizeExpr, Stmt, TripCount,
+    };
+    use crate::lower::{lower, LowerOptions};
+    use oriole_arch::Family;
+
+    fn lowered(body: Vec<Stmt>) -> Program {
+        let mut k = KernelAst::new("cfg_test");
+        k.body = body;
+        lower(&k, Family::Kepler, LowerOptions::default())
+    }
+
+    #[test]
+    fn straight_line_has_trivial_cfg() {
+        let p = lowered(vec![Stmt::ops(AluOp::AddF32, 1)]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.successors(BlockId(0)).is_empty());
+        assert_eq!(cfg.idom(BlockId(0)), BlockId(0));
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge_found() {
+        let p = lowered(vec![Stmt::Loop(Loop {
+            trip: TripCount::Size(SizeExpr::N),
+            unrollable: true,
+            body: vec![Stmt::ops(AluOp::FmaF32, 1)],
+        })]);
+        let cfg = Cfg::build(&p);
+        let loops = cfg.natural_loops(&p);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        // Single-block loop: header == latch == body block.
+        assert_eq!(l.header, l.latch);
+        assert!(l.body.contains(&l.header));
+    }
+
+    #[test]
+    fn nested_loops_found() {
+        let p = lowered(vec![Stmt::Loop(Loop {
+            trip: TripCount::GridStride(SizeExpr::N2),
+            unrollable: false,
+            body: vec![Stmt::Loop(Loop {
+                trip: TripCount::Size(SizeExpr::N),
+                unrollable: true,
+                body: vec![Stmt::ops(AluOp::FmaF32, 1)],
+            })],
+        })]);
+        let cfg = Cfg::build(&p);
+        let loops = cfg.natural_loops(&p);
+        assert_eq!(loops.len(), 2);
+        // One loop body must be a strict subset of the other.
+        let (a, b) = (&loops[0].body, &loops[1].body);
+        let (inner, outer) = if a.len() < b.len() { (a, b) } else { (b, a) };
+        assert!(inner.iter().all(|x| outer.contains(x)));
+        assert!(inner.len() < outer.len());
+    }
+
+    #[test]
+    fn divergent_region_detected_and_reconverges() {
+        let p = lowered(vec![
+            Stmt::If(Branch {
+                divergence: DivergenceKind::ThreadDependent,
+                taken_fraction: 0.5,
+                then_body: vec![Stmt::ops(AluOp::AddF32, 1)],
+                else_body: vec![Stmt::ops(AluOp::MulF32, 1)],
+            }),
+            Stmt::ops(AluOp::AddF32, 1),
+        ]);
+        let cfg = Cfg::build(&p);
+        let regions = cfg.divergent_regions(&p);
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!(r.branch_block, BlockId(0));
+        // then + else blocks in the region; merge is the reconvergence.
+        assert_eq!(r.body.len(), 2);
+        let merge = r.reconvergence.expect("reconverges");
+        assert!(!r.body.contains(&merge));
+    }
+
+    #[test]
+    fn uniform_branch_is_not_divergent() {
+        let p = lowered(vec![Stmt::If(Branch {
+            divergence: DivergenceKind::Uniform,
+            taken_fraction: 0.5,
+            then_body: vec![Stmt::ops(AluOp::AddF32, 1)],
+            else_body: vec![],
+        })]);
+        let cfg = Cfg::build(&p);
+        assert!(cfg.divergent_regions(&p).is_empty());
+    }
+
+    #[test]
+    fn dominance_in_diamond() {
+        let p = lowered(vec![Stmt::If(Branch {
+            divergence: DivergenceKind::ThreadDependent,
+            taken_fraction: 0.3,
+            then_body: vec![Stmt::ops(AluOp::AddF32, 1)],
+            else_body: vec![Stmt::ops(AluOp::MulF32, 1)],
+        })]);
+        let cfg = Cfg::build(&p);
+        // entry=0, then=1, else=2, merge=3.
+        assert!(cfg.dominates(BlockId(0), BlockId(3)));
+        assert!(!cfg.dominates(BlockId(1), BlockId(3)));
+        assert_eq!(cfg.idom(BlockId(3)), BlockId(0));
+        assert_eq!(cfg.ipostdom(BlockId(0)), Some(BlockId(3)));
+        // rpo starts at entry.
+        assert_eq!(cfg.reverse_postorder()[0], BlockId(0));
+        // preds of merge are then and else.
+        let mut preds = cfg.predecessors(BlockId(3)).to_vec();
+        preds.sort();
+        assert_eq!(preds, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn divergence_inside_loop_reconverges_within_loop() {
+        let p = lowered(vec![Stmt::Loop(Loop {
+            trip: TripCount::Size(SizeExpr::N),
+            unrollable: false,
+            body: vec![
+                Stmt::If(Branch {
+                    divergence: DivergenceKind::ThreadDependent,
+                    taken_fraction: 0.1,
+                    then_body: vec![Stmt::ops(AluOp::AddF32, 1)],
+                    else_body: vec![],
+                }),
+                Stmt::ops(AluOp::FmaF32, 1),
+            ],
+        })]);
+        let cfg = Cfg::build(&p);
+        let regions = cfg.divergent_regions(&p);
+        assert_eq!(regions.len(), 1);
+        let loops = cfg.natural_loops(&p);
+        assert_eq!(loops.len(), 1);
+        // The divergent region sits inside the loop body.
+        for b in &regions[0].body {
+            assert!(loops[0].body.contains(b), "{b} outside loop");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! CPU reference semantics and analytic operation counts.
+//!
+//! The AST encodings in this crate are *resource* models; these functions
+//! are the *value* models — the actual mathematics each kernel performs.
+//! Tests cross-check the two (e.g. the AST's floating-point operation
+//! count at geometry `g` must match the analytic FLOP formula), so the
+//! resource model cannot drift from the semantics it claims to describe.
+
+use crate::workload::{Grid3d, Matrix};
+
+/// λ parameter of the solid-fuel-ignition (Bratu) problem used by ex14FJ.
+pub const EX14_LAMBDA: f64 = 6.0;
+
+/// `y = Aᵀ (A x)` — the ATAX kernel.
+pub fn atax(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    let n = a.n;
+    assert_eq!(x.len(), n);
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a.at(i, j) * x[j];
+        }
+        tmp[i] = acc;
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a.at(j, i) * tmp[j];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// BiCG subkernel: `q = A p` and `s = Aᵀ r`, returned as `(q, s)`.
+pub fn bicg(a: &Matrix, p: &[f64], r: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = a.n;
+    assert_eq!(p.len(), n);
+    assert_eq!(r.len(), n);
+    let mut q = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a.at(i, j) * p[j];
+        }
+        q[i] = acc;
+    }
+    for j in 0..n {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += a.at(i, j) * r[i];
+        }
+        s[j] = acc;
+    }
+    (q, s)
+}
+
+/// `y = A x` — the matVec2D kernel.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    let n = a.n;
+    assert_eq!(x.len(), n);
+    (0..n)
+        .map(|i| (0..n).map(|j| a.at(i, j) * x[j]).sum())
+        .collect()
+}
+
+/// One Jacobi sweep of the ex14FJ solid-fuel-ignition residual
+/// `F(u) = -∇·(∇u) - λ·exp(u)` on the interior of a 3-D grid with
+/// homogeneous Dirichlet boundaries; boundary cells pass through.
+///
+/// Returns the residual field (what the Jacobian-vector kernel of the
+/// PETSc ex14 example evaluates each Newton step).
+pub fn ex14_residual(u: &Grid3d) -> Grid3d {
+    let n = u.n;
+    let h = 1.0 / ((n as f64) - 1.0).max(1.0);
+    let h2inv = 1.0 / (h * h);
+    let mut f = Grid3d { n, data: vec![0.0; n * n * n] };
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                if u.is_boundary(i, j, k) {
+                    *f.at_mut(i, j, k) = u.at(i, j, k);
+                } else {
+                    let c = u.at(i, j, k);
+                    let lap = 6.0 * c
+                        - u.at(i - 1, j, k)
+                        - u.at(i + 1, j, k)
+                        - u.at(i, j - 1, k)
+                        - u.at(i, j + 1, k)
+                        - u.at(i, j, k - 1)
+                        - u.at(i, j, k + 1);
+                    *f.at_mut(i, j, k) = lap * h2inv - EX14_LAMBDA * c.exp();
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Analytic floating-point operation counts (multiply–add counted as two
+/// FLOPs), the denominators for roofline-style sanity checks.
+pub mod flops {
+    /// ATAX: two `N²`-FMA passes → `4N²`.
+    pub fn atax(n: u64) -> u64 {
+        4 * n * n
+    }
+
+    /// BiCG: two `N²`-FMA passes → `4N²`.
+    pub fn bicg(n: u64) -> u64 {
+        4 * n * n
+    }
+
+    /// matVec: one `N²`-FMA pass → `2N²`.
+    pub fn matvec(n: u64) -> u64 {
+        2 * n * n
+    }
+
+    /// ex14FJ interior cells: 7-point Laplacian (7 FLOPs: 6 subs + 1
+    /// scale... counted as 8 with the center multiply), the `λ·exp(u)`
+    /// term (exp ≈ 1 FLOP-equivalent + 1 multiply) and the final subtract:
+    /// 12 FLOPs per interior cell.
+    pub fn ex14(n: u64) -> u64 {
+        let interior = n.saturating_sub(2).pow(3);
+        12 * interior
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn atax_is_composition_of_matvecs() {
+        let a = workload::matrix(24, 11);
+        let x = workload::vector(24, 12);
+        let tmp = matvec(&a, &x);
+        let expected = matvec(&a.transposed(), &tmp);
+        close(&atax(&a, &x), &expected);
+    }
+
+    #[test]
+    fn bicg_halves_match_matvec() {
+        let a = workload::matrix(16, 21);
+        let p = workload::vector(16, 22);
+        let r = workload::vector(16, 23);
+        let (q, s) = bicg(&a, &p, &r);
+        close(&q, &matvec(&a, &p));
+        close(&s, &matvec(&a.transposed(), &r));
+    }
+
+    #[test]
+    fn matvec_identity() {
+        // A = I → y = x.
+        let n = 8;
+        let mut a = workload::matrix(n, 1);
+        a.data.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..n {
+            *a.at_mut(i, i) = 1.0;
+        }
+        let x = workload::vector(n, 2);
+        close(&matvec(&a, &x), &x);
+    }
+
+    #[test]
+    fn ex14_boundary_passthrough_and_interior_residual() {
+        let u = workload::grid3d(6, 31);
+        let f = ex14_residual(&u);
+        // Boundaries pass through.
+        assert_eq!(f.at(0, 3, 3), u.at(0, 3, 3));
+        assert_eq!(f.at(5, 0, 2), u.at(5, 0, 2));
+        // An interior cell with a flat field: laplacian 0, residual is
+        // -λ·exp(u).
+        let mut flat = workload::grid3d(6, 1);
+        flat.data.iter_mut().for_each(|v| *v = 0.25);
+        let rf = ex14_residual(&flat);
+        let expected = -EX14_LAMBDA * 0.25f64.exp();
+        assert!((rf.at(2, 2, 2) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flop_formulas() {
+        assert_eq!(flops::atax(10), 400);
+        assert_eq!(flops::bicg(10), 400);
+        assert_eq!(flops::matvec(10), 200);
+        assert_eq!(flops::ex14(4), 12 * 8);
+        assert_eq!(flops::ex14(2), 0);
+        assert_eq!(flops::ex14(1), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulator timing constants.
+
+use oriole_arch::Family;
+
+/// Per-family timing constants, in SM cycles at the GPU core clock unless
+/// stated otherwise.
+///
+/// Values are derived from the Table I clocks and public
+/// bandwidth/latency figures for each generation; they set the *scale* of
+/// model times. The reproduction's claims are relative, but the constants
+/// are kept physically plausible so bounds trade off realistically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// DRAM latency exposed to a lone warp (cycles).
+    pub dram_latency: f64,
+    /// L1/constant-cache service latency (cycles) for broadcast/cached
+    /// accesses.
+    pub cache_latency: f64,
+    /// Shared-memory access latency (cycles).
+    pub shared_latency: f64,
+    /// Device-wide cycles per 32-byte DRAM transaction (inverse
+    /// bandwidth, cycles/transaction across the whole GPU).
+    pub dram_cycles_per_transaction: f64,
+    /// Fixed cycles per block dispatch (scheduler work).
+    pub block_dispatch_cycles: f64,
+    /// Base cycles for a block-wide barrier, before the per-warp term.
+    pub barrier_base_cycles: f64,
+    /// Additional barrier cycles per resident warp in the block.
+    pub barrier_per_warp_cycles: f64,
+    /// Reconvergence-stack overhead per divergent branch execution.
+    pub reconvergence_cycles: f64,
+    /// Memory-level parallelism within one warp: how many independent
+    /// outstanding loads a single warp sustains (scoreboarding lets
+    /// address-independent loads overlap).
+    pub warp_mlp: f64,
+    /// Resident warps needed to approach full issue throughput: an SM
+    /// with `W` warps sustains `W/(W + issue_warmup)` of its peak issue
+    /// rate (dependency stalls starve the schedulers at low occupancy).
+    pub issue_warmup: f64,
+    /// Kernel-launch overhead in microseconds (host-side).
+    pub launch_overhead_us: f64,
+    /// Extra per-stream overhead in microseconds when `SC > 1`.
+    pub stream_overhead_us: f64,
+    /// Relative standard deviation of measurement noise.
+    pub noise_sigma: f64,
+}
+
+impl SimConfig {
+    /// The default constants for a GPU family.
+    pub fn for_family(family: Family) -> SimConfig {
+        // Latency figures follow the microbenchmark literature for each
+        // generation (Wong et al. for Fermi, and successors); bandwidth
+        // from datasheet GB/s over the Table I core clock.
+        match family {
+            Family::Fermi => SimConfig {
+                dram_latency: 600.0,
+                cache_latency: 40.0,
+                shared_latency: 30.0,
+                // 148 GB/s at 1147 MHz → ~129 B/cycle → 0.25 cyc/32B.
+                dram_cycles_per_transaction: 0.25,
+                block_dispatch_cycles: 300.0,
+                barrier_base_cycles: 30.0,
+                barrier_per_warp_cycles: 0.6,
+                reconvergence_cycles: 12.0,
+                warp_mlp: 3.0,
+                issue_warmup: 3.0,
+                launch_overhead_us: 6.0,
+                stream_overhead_us: 2.0,
+                noise_sigma: 0.01,
+            },
+            Family::Kepler => SimConfig {
+                dram_latency: 520.0,
+                cache_latency: 35.0,
+                shared_latency: 28.0,
+                // 208 GB/s at 824 MHz → ~252 B/cycle → 0.127 cyc/32B.
+                dram_cycles_per_transaction: 0.127,
+                block_dispatch_cycles: 250.0,
+                barrier_base_cycles: 25.0,
+                barrier_per_warp_cycles: 0.5,
+                reconvergence_cycles: 10.0,
+                warp_mlp: 4.0,
+                issue_warmup: 3.0,
+                launch_overhead_us: 5.0,
+                stream_overhead_us: 2.0,
+                noise_sigma: 0.01,
+            },
+            Family::Maxwell => SimConfig {
+                dram_latency: 420.0,
+                cache_latency: 30.0,
+                shared_latency: 24.0,
+                // 288 GB/s at 1140 MHz → ~253 B/cycle → 0.127 cyc/32B.
+                dram_cycles_per_transaction: 0.127,
+                block_dispatch_cycles: 220.0,
+                barrier_base_cycles: 22.0,
+                barrier_per_warp_cycles: 0.4,
+                reconvergence_cycles: 8.0,
+                warp_mlp: 4.0,
+                issue_warmup: 3.0,
+                launch_overhead_us: 5.0,
+                stream_overhead_us: 1.5,
+                noise_sigma: 0.01,
+            },
+            Family::Pascal => SimConfig {
+                dram_latency: 380.0,
+                cache_latency: 28.0,
+                shared_latency: 22.0,
+                // HBM2: 732 GB/s at the Table I 405 MHz core clock →
+                // ~1800 B/cycle → 0.018 cyc/32B.
+                dram_cycles_per_transaction: 0.018,
+                block_dispatch_cycles: 200.0,
+                barrier_base_cycles: 20.0,
+                barrier_per_warp_cycles: 0.3,
+                reconvergence_cycles: 8.0,
+                warp_mlp: 5.0,
+                issue_warmup: 3.0,
+                launch_overhead_us: 5.0,
+                stream_overhead_us: 1.5,
+                noise_sigma: 0.01,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_have_configs() {
+        for f in Family::ALL {
+            let c = SimConfig::for_family(f);
+            assert!(c.dram_latency > c.cache_latency);
+            assert!(c.cache_latency > 0.0);
+            assert!(c.dram_cycles_per_transaction > 0.0);
+            assert!(c.noise_sigma > 0.0 && c.noise_sigma < 0.1);
+        }
+    }
+
+    #[test]
+    fn newer_generations_have_lower_latency() {
+        let fermi = SimConfig::for_family(Family::Fermi);
+        let pascal = SimConfig::for_family(Family::Pascal);
+        assert!(pascal.dram_latency < fermi.dram_latency);
+        assert!(pascal.dram_cycles_per_transaction < fermi.dram_cycles_per_transaction);
+    }
+}

@@ -1,0 +1,161 @@
+//! Dynamic instruction counters.
+//!
+//! The "dynamic analysis" side of the paper: what a profiler counts when
+//! the kernel actually runs. Counts integrate *warp-level* execution
+//! weights — divergent branch sides execute whenever any lane takes them,
+//! and every issued warp instruction occupies 32 thread slots regardless
+//! of the active mask. The static analyzer's estimate
+//! ([`oriole_ir::expected_mix`]) integrates thread-level weights instead;
+//! the gap between the two is exactly what the paper's Table VI reports
+//! as estimation error.
+
+use oriole_arch::OpClass;
+use oriole_codegen::CompiledKernel;
+use oriole_ir::{MixCounts, Terminator, TripCount};
+
+/// Whole-grid dynamic instruction mix for one execution at problem size
+/// `n` (thread-slot granularity: warp executions × 32).
+///
+/// Unlike the static estimator's fractional thread-level expectation,
+/// this integrates what actually issues:
+///
+/// * only the *busy* leading blocks execute loop bodies; their warps run
+///   whole (ceil-quantized) grid-stride iterations — the boundary warp
+///   does a full extra round even when only one lane needs it;
+/// * idle surplus blocks still issue their prologue and range guard;
+/// * divergent branch sides execute whenever any lane takes them.
+///
+/// The gap between this and [`oriole_ir::expected_mix`] is the paper's
+/// Table VI estimation error.
+pub fn dynamic_mix(kernel: &CompiledKernel, n: u64) -> MixCounts {
+    let params = kernel.params;
+    let (tc, bc) = (params.tc, params.bc);
+    let threads = f64::from(tc) * f64::from(bc);
+    // Work items exposed by the kernel's grid-stride loops.
+    let items = kernel
+        .program
+        .blocks
+        .iter()
+        .filter_map(|b| match &b.term {
+            Terminator::LoopBack { trip: TripCount::GridStride(s), .. } => Some(s.eval(n)),
+            _ => None,
+        })
+        .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
+        .unwrap_or(threads);
+    let busy_threads = threads.min(items.max(1.0));
+    let busy_blocks = ((busy_threads / f64::from(tc)).ceil().max(1.0) as u32).min(bc);
+    let idle_blocks = bc - busy_blocks;
+    let wb = f64::from(tc.div_ceil(32));
+    let busy_warps = f64::from(busy_blocks) * wb;
+    let idle_warps = f64::from(idle_blocks) * wb;
+
+    let mut mix = MixCounts::new();
+    for block in &kernel.program.blocks {
+        // Busy warps: ceil-quantized warp-level execution at the busy
+        // geometry, with divergence saturation applied on top.
+        let w_busy = block.freq.eval(n, tc, busy_blocks.max(1))
+            * warp_saturation(block, n, tc, busy_blocks.max(1));
+        // Idle warps: prologue/guard work only — evaluate with the
+        // problem size zeroed so every data loop contributes nothing.
+        let w_idle = block.freq.eval_expected(0, tc, bc);
+        let slots = (w_busy * busy_warps + w_idle * idle_warps) * 32.0;
+        if slots <= 0.0 {
+            continue;
+        }
+        for instr in &block.instrs {
+            mix.record(instr.opcode.op_class(), slots);
+            mix.record(OpClass::Regs, slots * f64::from(instr.regfile_accesses()));
+        }
+        match &block.term {
+            Terminator::Jump(_) | Terminator::CondBranch { .. } | Terminator::LoopBack { .. } => {
+                mix.record(OpClass::CtrlIns, slots);
+            }
+            Terminator::Ret => {}
+        }
+    }
+    mix
+}
+
+/// Ratio of warp-level to thread-level branch weights for a block
+/// (≥ 1; captures divergence saturation independently of trip counts).
+fn warp_saturation(block: &oriole_ir::BasicBlock, n: u64, tc: u32, bc: u32) -> f64 {
+    let thread = block.freq.eval(n, tc, bc);
+    let warp = block.freq.eval_warp(n, tc, bc);
+    let thread_frac = block.freq.eval_expected(n, tc, bc);
+    if thread <= 0.0 || thread_frac <= 0.0 {
+        return 1.0;
+    }
+    // eval_warp uses fractional trips; isolate the fraction-saturation
+    // component by comparing against eval_expected (same trip semantics).
+    (warp / thread_frac).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oriole_arch::Gpu;
+    use oriole_codegen::{compile, TuningParams};
+    use oriole_ir::{expected_mix, LaunchGeometry};
+    use oriole_kernels::KernelId;
+
+    fn kernel(kid: KernelId, n: u64, tc: u32, bc: u32) -> CompiledKernel {
+        compile(&kid.ast(n), Gpu::K20.spec(), TuningParams::with_geometry(tc, bc)).unwrap()
+    }
+
+    #[test]
+    fn dynamic_counts_scale_with_n() {
+        let k_small = kernel(KernelId::Atax, 64, 128, 48);
+        let k_large = kernel(KernelId::Atax, 512, 128, 48);
+        let small = dynamic_mix(&k_small, 64).total();
+        let large = dynamic_mix(&k_large, 512).total();
+        // O(N²) work: 64× more at 8× the size. The observed ratio sits
+        // well below 64 because dynamic counts include idle-block guards
+        // and boundary-warp quantization, which loom large at N=64.
+        assert!(large > small * 15.0, "{large} vs {small}");
+    }
+
+    #[test]
+    fn static_estimate_tracks_dynamic_for_straight_kernels() {
+        // ATAX has no divergence: thread-level and warp-level weights
+        // agree, so the per-class fractions must match closely.
+        let k = kernel(KernelId::Atax, 128, 128, 48);
+        let geom = LaunchGeometry::new(128, 128, 48);
+        let dynamic = dynamic_mix(&k, 128).classes();
+        let threads = geom.total_threads() as f64;
+        let stat = expected_mix(&k.program, geom).scaled(threads).classes();
+        let (df, dm, _, _) = dynamic.fractions();
+        let (sf, sm, _, _) = stat.fractions();
+        assert!((df - sf).abs() < 0.02, "flops {df} vs {sf}");
+        assert!((dm - sm).abs() < 0.02, "mem {dm} vs {sm}");
+    }
+
+    #[test]
+    fn divergence_inflates_dynamic_counts() {
+        // ex14FJ at small N diverges heavily: warps execute both the
+        // boundary and interior paths, so dynamic FLOPS exceed the
+        // thread-level static estimate.
+        let k = kernel(KernelId::Ex14Fj, 8, 128, 48);
+        let geom = LaunchGeometry::new(8, 128, 48);
+        let dynamic = dynamic_mix(&k, 8).classes();
+        let stat = expected_mix(&k.program, geom)
+            .scaled(geom.total_threads() as f64)
+            .classes();
+        assert!(
+            dynamic.flops > stat.flops * 1.3,
+            "dynamic {} !>> static {}",
+            dynamic.flops,
+            stat.flops
+        );
+    }
+
+    #[test]
+    fn register_class_dominates_totals() {
+        // Every instruction touches the register file several times, so
+        // O_reg is the largest class (paper Table V's large register
+        // instruction counts).
+        let k = kernel(KernelId::MatVec2D, 128, 256, 48);
+        let classes = dynamic_mix(&k, 128).classes();
+        assert!(classes.reg > classes.flops);
+        assert!(classes.reg > classes.mem);
+    }
+}

@@ -1,0 +1,402 @@
+//! The whole-GPU timing model.
+//!
+//! [`simulate`] assembles the per-warp profile, the occupancy result and
+//! the work-distribution geometry into a roofline-style completion time:
+//!
+//! ```text
+//! T_exec = max( issue-throughput bound over the busy SMs,
+//!               dependent-chain latency bound of the busiest warps )
+//! T      = max( T_exec, device DRAM bandwidth bound )
+//!          + block dispatch + kernel launch overhead
+//! ```
+//!
+//! The busy-SM accounting is what reproduces the paper's Fig. 4 shape:
+//! grid-stride kernels with fewer work items than threads occupy only the
+//! leading `⌈items/TC⌉` blocks, so at small `N` a 1024-thread block puts
+//! the entire kernel on a single SM while a 64-thread block spreads it
+//! over sixteen.
+
+use crate::config::SimConfig;
+use crate::profile::WarpProfile;
+use oriole_arch::{occupancy, Family, Limiter, Occupancy, OccupancyInput};
+use oriole_codegen::{CompiledKernel, PreferredL1};
+use oriole_ir::{Terminator, TripCount};
+use std::fmt;
+
+/// Which roofline bound determined the execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// SM issue throughput (including LSU replays).
+    Issue,
+    /// Dependent-chain latency exposure.
+    Latency,
+    /// Device DRAM bandwidth.
+    Bandwidth,
+}
+
+impl fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BoundKind::Issue => "issue",
+            BoundKind::Latency => "latency",
+            BoundKind::Bandwidth => "bandwidth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration cannot launch: occupancy is zero.
+    Infeasible {
+        /// The binding resource that zeroed occupancy.
+        limiter: Limiter,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Infeasible { limiter } => {
+                write!(f, "launch infeasible: zero active blocks (limiter {limiter:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one simulated kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Modelled wall-clock time in milliseconds (noise-free).
+    pub time_ms: f64,
+    /// The dominating roofline bound.
+    pub bound: BoundKind,
+    /// Occupancy details used for the run.
+    pub occupancy: Occupancy,
+    /// Blocks that actually carry work items.
+    pub busy_blocks: u32,
+    /// SMs hosting busy blocks.
+    pub busy_sms: u32,
+    /// Resident warps per busy SM.
+    pub resident_warps: u32,
+    /// Execution waves (block batches per SM slot).
+    pub waves: u32,
+    /// Total execution cycles (before launch overhead).
+    pub cycles: f64,
+    /// Per-warp profile used by the model.
+    pub profile: WarpProfile,
+}
+
+/// Effective shared memory per SM under the `PL` split.
+///
+/// Fermi and Kepler carve a 64 KiB array into L1 + shared
+/// (`PreferL1` = 48 K L1 leaves 16 K shared); Maxwell and Pascal have
+/// dedicated shared memory, so `PL` only sizes the L1.
+pub fn effective_shmem_per_mp(family: Family, pl: PreferredL1, default_shmem: u32) -> u32 {
+    match family {
+        Family::Fermi | Family::Kepler => 64 * 1024 - pl.l1_bytes(),
+        Family::Maxwell | Family::Pascal => default_shmem,
+    }
+}
+
+/// Largest grid-stride item count in the program, i.e. how much
+/// parallelism the kernel actually exposes at problem size `n`
+/// (`None` when the kernel has no grid-stride loop).
+fn grid_items(kernel: &CompiledKernel, n: u64) -> Option<f64> {
+    let mut items: Option<f64> = None;
+    for block in &kernel.program.blocks {
+        if let Terminator::LoopBack { trip: TripCount::GridStride(s), .. } = &block.term {
+            let v = s.eval(n);
+            items = Some(items.map_or(v, |cur: f64| cur.max(v)));
+        }
+    }
+    items
+}
+
+/// Simulates one execution with the family-default [`SimConfig`].
+pub fn simulate(kernel: &CompiledKernel, n: u64) -> Result<SimReport, SimError> {
+    simulate_with(kernel, n, &SimConfig::for_family(kernel.gpu.family))
+}
+
+/// Simulates one execution with an explicit configuration (used by
+/// ablation benches).
+pub fn simulate_with(
+    kernel: &CompiledKernel,
+    n: u64,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let spec = kernel.gpu;
+    let params = kernel.params;
+
+    let occ_input = OccupancyInput {
+        tc: params.tc,
+        regs_per_thread: kernel.regs_per_thread(),
+        smem_per_block: kernel.smem_per_block,
+        shmem_per_mp: Some(effective_shmem_per_mp(spec.family, params.pl, spec.shmem_per_mp)),
+    };
+    let occ = occupancy(spec, occ_input);
+    if occ.active_blocks == 0 {
+        return Err(SimError::Infeasible { limiter: occ.limiter });
+    }
+
+    let threads = f64::from(params.tc) * f64::from(params.bc);
+    let items = grid_items(kernel, n).unwrap_or(threads);
+    let busy_threads = threads.min(items.max(1.0));
+    let busy_blocks = (busy_threads / f64::from(params.tc)).ceil().max(1.0) as u32;
+    let busy_blocks = busy_blocks.min(params.bc);
+    let wb = spec.warps_per_block(params.tc);
+    // All warps of busy blocks are resident and schedule, even those
+    // whose lanes all fail the range guard; the per-warp profile below is
+    // the average over exactly this population.
+    let resident_warps_total = f64::from(busy_blocks) * f64::from(wb);
+
+    let mp = spec.multiprocessors;
+    let busy_sms = busy_blocks.min(mp);
+    let slots = occ.active_blocks * mp;
+    let waves = busy_blocks.div_ceil(slots).max(1);
+    let blocks_per_sm = busy_blocks.div_ceil(waves * busy_sms).min(occ.active_blocks);
+    let resident_warps = (blocks_per_sm * wb).min(spec.warps_per_mp);
+
+    // Per-busy-warp profile: weights evaluated at the busy geometry.
+    let profile =
+        WarpProfile::extract(&kernel.program, cfg, n, params.tc, busy_blocks.max(1));
+
+    // Synchronization / divergence surcharges (per warp).
+    let barrier_cost =
+        profile.barriers * (cfg.barrier_base_cycles + cfg.barrier_per_warp_cycles * f64::from(wb));
+    let reconv_cost = profile.divergent_branches * cfg.reconvergence_cycles;
+    let warp_issue = profile.issue_cycles + barrier_cost + reconv_cost;
+
+    // Issue-throughput bound: every resident warp's issue work, spread
+    // over the busy SMs. An SM only approaches peak issue rate with
+    // enough resident warps to cover dependency stalls; below that the
+    // schedulers starve (the low-occupancy penalty).
+    let issue_efficiency = {
+        let w = f64::from(resident_warps).max(1.0);
+        w / (w + cfg.issue_warmup.max(0.0))
+    };
+    let t_issue = warp_issue * resident_warps_total / f64::from(busy_sms) / issue_efficiency;
+
+    // Latency bound: the dependent chain of one warp, with memory stalls
+    // hidden by the other resident warps (×) the warp's own memory-level
+    // parallelism; waves serialize.
+    let mlp = f64::from(resident_warps).max(1.0) * cfg.warp_mlp.max(1.0);
+    let exposed_per_op = profile.avg_latency() / mlp;
+    let rounds = (resident_warps_total / (f64::from(resident_warps) * f64::from(busy_sms)))
+        .ceil()
+        .max(1.0);
+    let t_lat = rounds * (warp_issue + profile.mem_ops * exposed_per_op);
+
+    // Device bandwidth bound.
+    let t_bw =
+        profile.dram_transactions * resident_warps_total * cfg.dram_cycles_per_transaction;
+
+    let t_exec = t_issue.max(t_lat);
+    let (mut cycles, bound) = if t_bw > t_exec {
+        (t_bw, BoundKind::Bandwidth)
+    } else if t_lat > t_issue {
+        (t_lat, BoundKind::Latency)
+    } else {
+        (t_issue, BoundKind::Issue)
+    };
+
+    // Every block of the grid — busy or idle — costs dispatch work on
+    // the GigaThread engine; idle blocks at least run their range guard.
+    cycles += f64::from(params.bc.div_ceil(mp)) * cfg.block_dispatch_cycles;
+
+    let clock_hz = f64::from(spec.gpu_clock_mhz) * 1e6;
+    let launch_us =
+        cfg.launch_overhead_us + cfg.stream_overhead_us * f64::from(params.sc.saturating_sub(1));
+    let time_ms = cycles / clock_hz * 1e3 + launch_us / 1e3;
+
+    Ok(SimReport {
+        time_ms,
+        bound,
+        occupancy: occ,
+        busy_blocks,
+        busy_sms,
+        resident_warps,
+        waves,
+        cycles,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oriole_arch::Gpu;
+    use oriole_codegen::{compile, TuningParams};
+    use oriole_kernels::KernelId;
+
+    fn run(kid: KernelId, gpu: Gpu, n: u64, tc: u32, bc: u32) -> SimReport {
+        let ast = kid.ast(n);
+        let kernel = compile(&ast, gpu.spec(), TuningParams::with_geometry(tc, bc)).unwrap();
+        simulate(&kernel, n).unwrap()
+    }
+
+    #[test]
+    fn all_kernels_simulate_on_all_gpus() {
+        for kid in oriole_kernels::ALL_KERNELS {
+            for gpu in oriole_arch::ALL_GPUS {
+                let n = kid.input_sizes()[2];
+                let r = run(kid, gpu, n, 128, 48);
+                assert!(r.time_ms.is_finite() && r.time_ms > 0.0, "{kid} {gpu}");
+                assert!(r.occupancy.active_blocks > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn atax_prefers_small_blocks() {
+        // The paper's headline Fig. 4 behaviour: at N≤512 ATAX's work
+        // fits in few blocks, so small TC spreads it over more SMs.
+        for gpu in [Gpu::K20, Gpu::M2050] {
+            let small = run(KernelId::Atax, gpu, 512, 128, 48);
+            let large = run(KernelId::Atax, gpu, 512, 896, 48);
+            assert!(
+                small.time_ms * 1.3 < large.time_ms,
+                "{gpu}: TC=128 {:.3}ms !< TC=896 {:.3}ms",
+                small.time_ms,
+                large.time_ms
+            );
+        }
+    }
+
+    #[test]
+    fn matvec2d_prefers_large_blocks() {
+        for gpu in [Gpu::K20, Gpu::M2050] {
+            let small = run(KernelId::MatVec2D, gpu, 512, 32, 48);
+            let large = run(KernelId::MatVec2D, gpu, 512, 672, 48);
+            assert!(
+                large.time_ms < small.time_ms,
+                "{gpu}: TC=672 {:.3}ms !< TC=32 {:.3}ms",
+                large.time_ms,
+                small.time_ms
+            );
+        }
+    }
+
+    #[test]
+    fn bicg_tracks_atax_preference() {
+        let small = run(KernelId::Bicg, Gpu::K20, 512, 128, 48);
+        let large = run(KernelId::Bicg, Gpu::K20, 512, 896, 48);
+        assert!(small.time_ms < large.time_ms);
+    }
+
+    #[test]
+    fn ex14fj_not_hurt_by_large_blocks() {
+        // N³ cells saturate the device; large blocks amortize dispatch.
+        let r_small = run(KernelId::Ex14Fj, Gpu::K20, 64, 64, 96);
+        let r_large = run(KernelId::Ex14Fj, Gpu::K20, 64, 512, 96);
+        assert!(r_large.time_ms <= r_small.time_ms * 1.1);
+    }
+
+    #[test]
+    fn time_scales_with_problem_size() {
+        for kid in oriole_kernels::ALL_KERNELS {
+            let sizes = kid.input_sizes();
+            let t_small = run(kid, Gpu::M40, sizes[0], 128, 48).time_ms;
+            let t_large = run(kid, Gpu::M40, sizes[4], 128, 48).time_ms;
+            assert!(t_large > t_small, "{kid}: {t_large} !> {t_small}");
+        }
+    }
+
+    #[test]
+    fn work_concentration_reported() {
+        // ATAX at N=128 with TC=1024: a single busy block on one SM.
+        let r = run(KernelId::Atax, Gpu::K20, 128, 1024, 48);
+        assert_eq!(r.busy_blocks, 1);
+        assert_eq!(r.busy_sms, 1);
+        // With TC=32: four busy blocks.
+        let r = run(KernelId::Atax, Gpu::K20, 128, 32, 48);
+        assert_eq!(r.busy_blocks, 4);
+        assert_eq!(r.busy_sms, 4);
+    }
+
+    #[test]
+    fn strided_kernel_is_issue_or_bandwidth_bound() {
+        let r = run(KernelId::Atax, Gpu::K20, 512, 128, 48);
+        assert!(matches!(r.bound, BoundKind::Issue | BoundKind::Bandwidth), "{:?}", r.bound);
+    }
+
+    #[test]
+    fn infeasible_configuration_errors() {
+        // 40 KiB shared per block with PreferL1 (16 K shared) on Kepler:
+        // zero blocks fit.
+        let mut ast = KernelId::MatVec2D.ast(64);
+        ast.shared[0].elems = 10 * 1024 / 4; // 10 KiB per thread would overflow; use fixed
+        ast.shared[0].scales_with_block = false;
+        ast.shared[0].elems = 40 * 1024 / 4;
+        let mut params = TuningParams::with_geometry(128, 48);
+        params.pl = oriole_codegen::PreferredL1::Kb48;
+        let kernel = compile(&ast, Gpu::K20.spec(), params).unwrap();
+        let err = simulate(&kernel, 64).unwrap_err();
+        assert!(matches!(err, SimError::Infeasible { limiter: Limiter::SharedMem }));
+    }
+
+    #[test]
+    fn pl_split_changes_occupancy_on_kepler_not_maxwell() {
+        // 12 KiB/block kernel: Kepler PreferL1 leaves 16 K shared → 1
+        // block; PreferShared leaves 48 K → 4 blocks. Maxwell's dedicated
+        // 96 K is indifferent.
+        let mut ast = KernelId::MatVec2D.ast(64);
+        ast.shared.truncate(1);
+        ast.shared[0].scales_with_block = false;
+        ast.shared[0].elems = 12 * 1024 / 4;
+        let mk = |gpu: Gpu, pl| {
+            let mut p = TuningParams::with_geometry(256, 48);
+            p.pl = pl;
+            let k = compile(&ast, gpu.spec(), p).unwrap();
+            simulate(&k, 64).unwrap().occupancy.active_blocks
+        };
+        assert_eq!(mk(Gpu::K20, PreferredL1::Kb16), 4);
+        assert_eq!(mk(Gpu::K20, PreferredL1::Kb48), 1);
+        assert_eq!(mk(Gpu::M40, PreferredL1::Kb16), mk(Gpu::M40, PreferredL1::Kb48));
+    }
+
+    #[test]
+    fn divergence_costs_time() {
+        // Same kernel, higher boundary fraction (smaller N normalized per
+        // cell) → worse per-cell time.
+        let per_cell = |n: u64| {
+            let r = run(KernelId::Ex14Fj, Gpu::M40, n, 256, 96);
+            r.time_ms / (n * n * n) as f64
+        };
+        // N=8 (58% boundary, heavy divergence) vs N=64 (9%).
+        assert!(per_cell(8) > per_cell(64));
+    }
+
+    #[test]
+    fn stream_count_adds_overhead() {
+        let ast = KernelId::Atax.ast(128);
+        let mut p1 = TuningParams::with_geometry(128, 48);
+        let mut p5 = p1;
+        p1.sc = 1;
+        p5.sc = 5;
+        let k1 = compile(&ast, Gpu::K20.spec(), p1).unwrap();
+        let k5 = compile(&ast, Gpu::K20.spec(), p5).unwrap();
+        let t1 = simulate(&k1, 128).unwrap().time_ms;
+        let t5 = simulate(&k5, 128).unwrap().time_ms;
+        assert!(t5 > t1);
+    }
+
+    #[test]
+    fn effective_shmem_rules() {
+        assert_eq!(
+            effective_shmem_per_mp(Family::Kepler, PreferredL1::Kb48, 49_152),
+            16 * 1024
+        );
+        assert_eq!(
+            effective_shmem_per_mp(Family::Kepler, PreferredL1::Kb16, 49_152),
+            48 * 1024
+        );
+        assert_eq!(
+            effective_shmem_per_mp(Family::Maxwell, PreferredL1::Kb48, 98_304),
+            98_304
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Variant evaluation: the "empirical" measurement loop of §IV-A.
+//!
+//! Each tuning point is compiled and run on the simulator for every
+//! input size, ten noisy trials each, with the fifth trial selected —
+//! exactly the paper's protocol. Evaluation parallelizes across variants
+//! with crossbeam scoped threads; results are returned in input order and
+//! memoized (stochastic searchers revisit points), so the whole layer is
+//! deterministic regardless of thread scheduling.
+
+use crate::space::SearchSpace;
+use oriole_arch::GpuSpec;
+use oriole_codegen::{compile, CompiledKernel, TuningParams};
+use oriole_ir::KernelAst;
+use oriole_sim::{dynamic_mix, measure, TrialProtocol};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What a search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Sum of selected trial times over all input sizes (the paper's
+    /// whole-benchmark view).
+    #[default]
+    TotalTime,
+    /// Time at the largest input size only.
+    LargestSize,
+}
+
+/// The evaluation record of one variant — everything Table V and Fig. 4
+/// need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The tuning point.
+    pub params: TuningParams,
+    /// Objective value in milliseconds (`f64::INFINITY` when
+    /// infeasible).
+    pub time_ms: f64,
+    /// Selected trial time per input size.
+    pub per_size_ms: Vec<(u64, f64)>,
+    /// Whether the variant compiled and launched.
+    pub feasible: bool,
+    /// Achieved occupancy (0 when infeasible).
+    pub occupancy: f64,
+    /// Registers per thread `ptxas` allocated.
+    pub regs_allocated: u32,
+    /// Dynamic register-instruction count summed over sizes (Table V's
+    /// "Register Instructions").
+    pub reg_instructions: f64,
+}
+
+impl Measurement {
+    fn infeasible(params: TuningParams) -> Measurement {
+        Measurement {
+            params,
+            time_ms: f64::INFINITY,
+            per_size_ms: Vec::new(),
+            feasible: false,
+            occupancy: 0.0,
+            regs_allocated: 0,
+            reg_instructions: 0.0,
+        }
+    }
+}
+
+/// Evaluates tuning points for one kernel × GPU × input-size set.
+pub struct Evaluator<'a> {
+    /// Builds the kernel AST for an input size (ex14FJ's divergence
+    /// fraction depends on it).
+    pub ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
+    /// Target device.
+    pub gpu: &'static GpuSpec,
+    /// Input sizes (§IV-A: five per benchmark).
+    pub sizes: &'a [u64],
+    /// Trials per size (paper: 10).
+    pub trials: u32,
+    /// Trial-selection protocol (paper: fifth of ten).
+    pub protocol: TrialProtocol,
+    /// Base seed; per-variant seeds derive from it and the point.
+    pub base_seed: u64,
+    /// Objective definition.
+    pub objective: Objective,
+    cache: Mutex<HashMap<TuningParams, Measurement>>,
+    evaluations: AtomicUsize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with the paper's measurement protocol.
+    pub fn new(
+        ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
+        gpu: &'static GpuSpec,
+        sizes: &'a [u64],
+    ) -> Evaluator<'a> {
+        Evaluator {
+            ast_builder,
+            gpu,
+            sizes,
+            trials: 10,
+            protocol: TrialProtocol::FifthOfTen,
+            base_seed: 0x0_0121_0_1e,
+            objective: Objective::TotalTime,
+            cache: Mutex::new(HashMap::new()),
+            evaluations: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of *distinct* variants evaluated so far (cache misses).
+    pub fn unique_evaluations(&self) -> usize {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Per-variant deterministic seed.
+    fn seed_for(&self, p: &TuningParams) -> u64 {
+        // Simple FNV-style mix over the point's fields.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.base_seed;
+        for v in [
+            u64::from(p.tc),
+            u64::from(p.bc),
+            u64::from(p.uif),
+            u64::from(p.pl.kb()),
+            u64::from(p.sc),
+            u64::from(p.cflags.fast_math),
+        ] {
+            h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    fn evaluate_uncached(&self, params: TuningParams) -> Measurement {
+        let mut per_size_ms = Vec::with_capacity(self.sizes.len());
+        let mut occupancy = 0.0;
+        let mut regs = 0u32;
+        let mut reg_instructions = 0.0;
+        for &n in self.sizes {
+            let ast = (self.ast_builder)(n);
+            let kernel: CompiledKernel = match compile(&ast, self.gpu, params) {
+                Ok(k) => k,
+                Err(_) => return Measurement::infeasible(params),
+            };
+            let trials = match measure(&kernel, n, self.trials, self.seed_for(&params) ^ n) {
+                Ok(t) => t,
+                Err(_) => return Measurement::infeasible(params),
+            };
+            per_size_ms.push((n, trials.selected(self.protocol)));
+            occupancy = trials.report.occupancy.occupancy;
+            regs = kernel.regs_per_thread();
+            reg_instructions += dynamic_mix(&kernel, n).get(oriole_arch::OpClass::Regs);
+        }
+        let time_ms = match self.objective {
+            Objective::TotalTime => per_size_ms.iter().map(|(_, t)| t).sum(),
+            Objective::LargestSize => per_size_ms.last().map(|(_, t)| *t).unwrap_or(f64::INFINITY),
+        };
+        Measurement {
+            params,
+            time_ms,
+            per_size_ms,
+            feasible: true,
+            occupancy,
+            regs_allocated: regs,
+            reg_instructions,
+        }
+    }
+
+    /// Evaluates one point (memoized).
+    pub fn evaluate(&self, params: TuningParams) -> Measurement {
+        if let Some(hit) = self.cache.lock().get(&params) {
+            return hit.clone();
+        }
+        let m = self.evaluate_uncached(params);
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(params, m.clone());
+        m
+    }
+
+    /// Evaluates a batch in parallel; results in input order.
+    pub fn evaluate_batch(&self, points: &[TuningParams]) -> Vec<Measurement> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        if points.len() < 8 || threads < 2 {
+            return points.iter().map(|&p| self.evaluate(p)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Measurement>>> =
+            points.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(points.len()) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let m = self.evaluate(points[i]);
+                    *results[i].lock() = Some(m);
+                });
+            }
+        })
+        .expect("evaluation workers don't panic");
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Evaluates the entire space (exhaustive sweep), in flat-index
+    /// order.
+    pub fn evaluate_space(&self, space: &SearchSpace) -> Vec<Measurement> {
+        let points: Vec<TuningParams> = space.iter().collect();
+        self.evaluate_batch(&points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oriole_arch::Gpu;
+    use oriole_kernels::KernelId;
+
+    fn evaluator<'a>(sizes: &'a [u64]) -> Evaluator<'a> {
+        Evaluator::new(&|n| KernelId::Atax.ast(n), Gpu::K20.spec(), sizes)
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let sizes = [64u64, 128];
+        let ev = evaluator(&sizes);
+        let p = TuningParams::with_geometry(128, 48);
+        let a = ev.evaluate(p);
+        let b = ev.evaluate(p);
+        assert_eq!(a, b);
+        // A second evaluator reproduces the same numbers.
+        let ev2 = evaluator(&sizes);
+        assert_eq!(ev2.evaluate(p), a);
+    }
+
+    #[test]
+    fn cache_counts_unique_points() {
+        let sizes = [64u64];
+        let ev = evaluator(&sizes);
+        let p = TuningParams::with_geometry(128, 48);
+        let q = TuningParams::with_geometry(256, 48);
+        ev.evaluate(p);
+        ev.evaluate(p);
+        ev.evaluate(q);
+        assert_eq!(ev.unique_evaluations(), 2);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_orders_results() {
+        let sizes = [64u64];
+        let space = SearchSpace::tiny();
+        let points: Vec<TuningParams> = space.iter().collect();
+        let ev_batch = evaluator(&sizes);
+        let batch = ev_batch.evaluate_batch(&points);
+        let ev_seq = evaluator(&sizes);
+        let seq: Vec<Measurement> = points.iter().map(|&p| ev_seq.evaluate(p)).collect();
+        assert_eq!(batch, seq);
+        for (m, p) in batch.iter().zip(&points) {
+            assert_eq!(m.params, *p);
+        }
+    }
+
+    #[test]
+    fn objective_totals_per_size_times() {
+        let sizes = [32u64, 64, 128];
+        let ev = evaluator(&sizes);
+        let m = ev.evaluate(TuningParams::with_geometry(128, 48));
+        assert!(m.feasible);
+        assert_eq!(m.per_size_ms.len(), 3);
+        let sum: f64 = m.per_size_ms.iter().map(|(_, t)| t).sum();
+        assert!((sum - m.time_ms).abs() < 1e-12);
+        assert!(m.occupancy > 0.0);
+        assert!(m.regs_allocated > 0);
+        assert!(m.reg_instructions > 0.0);
+    }
+
+    #[test]
+    fn infeasible_variant_scores_infinity() {
+        // MatVec2D's block-scaled tile at TC=1024 with PreferL1 (16 KiB
+        // shared on Kepler): smem = 4 KiB fits; force bigger tiles.
+        let builder = |n: u64| {
+            let mut ast = KernelId::MatVec2D.ast(n);
+            ast.shared[0].elems = 8; // 32 B/thread → 32 KiB at TC=1024
+            ast
+        };
+        let sizes = [64u64];
+        let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+        let mut p = TuningParams::with_geometry(1024, 48);
+        p.pl = oriole_codegen::PreferredL1::Kb48; // 16 KiB shared per SM
+        let m = ev.evaluate(p);
+        assert!(!m.feasible);
+        assert_eq!(m.time_ms, f64::INFINITY);
+    }
+
+    #[test]
+    fn largest_size_objective() {
+        let sizes = [32u64, 256];
+        let mut ev = evaluator(&sizes);
+        ev.objective = Objective::LargestSize;
+        let m = ev.evaluate(TuningParams::with_geometry(128, 48));
+        assert_eq!(m.time_ms, m.per_size_ms[1].1);
+    }
+}

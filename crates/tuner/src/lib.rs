@@ -1,0 +1,46 @@
+//! # oriole-tuner — the autotuning framework
+//!
+//! An Orio-style autotuner (§II-C, §III-C) over the compiler substrate
+//! and GPU simulator:
+//!
+//! * [`spec`] — parser for the Fig. 3 tuning-specification DSL
+//!   (`param TC[] = range(32,1025,32);` …).
+//! * [`space`] — the cartesian search space of Table III, with the
+//!   paper's default 5,120-variant instantiation.
+//! * [`eval`] — variant evaluation: compile → simulate → ten noisy
+//!   trials → fifth selected (§IV-A), parallelized with crossbeam scoped
+//!   threads behind a deterministic, order-restoring interface, with a
+//!   memoizing cache so stochastic searchers don't re-pay revisits.
+//! * [`search`] — the search algorithms Orio ships (exhaustive, random,
+//!   simulated annealing, genetic, Nelder–Mead simplex; §III-C "Current
+//!   search algorithms in Orio include…") plus the paper's new
+//!   **static-analysis search module**, which prunes the thread axis to
+//!   the analyzer's `T*` (and optionally the rule-based band) before
+//!   searching.
+//! * [`rank`] — the §IV-A ranking protocol: sort by time, split at the
+//!   50th percentile into Rank 1 (good) and Rank 2 (poor), and the
+//!   Table V statistics over each rank.
+//! * [`result`] — experiment records and CSV export.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod rank;
+pub mod replay;
+pub mod result;
+pub mod search;
+pub mod space;
+pub mod spec;
+
+pub use eval::{Evaluator, Measurement, Objective};
+pub use rank::{rank_stats, split_ranks, RankStats};
+pub use result::{
+    measurement_csv_row, measurements_csv, TuningRun, MEASUREMENT_CSV_HEADER,
+};
+pub use replay::{replay, Decision, LogEntry, ReplayReport, TuningLog};
+pub use search::{
+    AnnealingSearch, ExhaustiveSearch, GeneticSearch, HybridSearch, NelderMeadSearch, Oracle,
+    PruneLevel, RandomSearch, SearchResult, Searcher, StaticSearch, StaticSearchReport,
+};
+pub use space::SearchSpace;
+pub use spec::{parse_spec, SpecError};

@@ -1,0 +1,138 @@
+//! Search algorithms over the tuning space.
+//!
+//! Orio's stock strategies (§III-C: "Current search algorithms in Orio
+//! include exhaustive, random, simulated annealing, genetic, and
+//! Nelder-Mead simplex methods") plus the paper's contribution, the
+//! [`StaticSearch`] module that prunes the space with the static
+//! analyzer before searching.
+
+mod anneal;
+mod exhaustive;
+mod hybrid;
+mod genetic;
+mod neldermead;
+mod random;
+mod static_search;
+
+pub use anneal::AnnealingSearch;
+pub use exhaustive::ExhaustiveSearch;
+pub use genetic::GeneticSearch;
+pub use hybrid::HybridSearch;
+pub use neldermead::NelderMeadSearch;
+pub use random::RandomSearch;
+pub use static_search::{PruneLevel, StaticSearch, StaticSearchReport};
+
+use crate::space::SearchSpace;
+use oriole_codegen::TuningParams;
+
+/// The objective oracle a searcher queries. Implementations memoize and
+/// parallelize internally; `eval` must be deterministic per point.
+pub trait Oracle: Sync {
+    /// Objective value for one point (lower is better; infeasible points
+    /// return `f64::INFINITY`).
+    fn eval(&self, params: TuningParams) -> f64;
+
+    /// Batch evaluation; default falls back to per-point calls.
+    /// Implementations may parallelize; results must be in input order.
+    fn eval_many(&self, points: &[TuningParams]) -> Vec<f64> {
+        points.iter().map(|&p| self.eval(p)).collect()
+    }
+}
+
+impl Oracle for crate::eval::Evaluator<'_> {
+    fn eval(&self, params: TuningParams) -> f64 {
+        crate::eval::Evaluator::evaluate(self, params).time_ms
+    }
+
+    fn eval_many(&self, points: &[TuningParams]) -> Vec<f64> {
+        self.evaluate_batch(points).into_iter().map(|m| m.time_ms).collect()
+    }
+}
+
+/// Outcome of one search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Best point found.
+    pub best: TuningParams,
+    /// Its objective value (ms).
+    pub best_time: f64,
+    /// Objective queries issued (revisits included).
+    pub evaluations: usize,
+    /// Search trace: `(point, value)` in query order (exhaustive search
+    /// leaves it empty to avoid 5,120-entry clones; its trace is the
+    /// space order).
+    pub trace: Vec<(TuningParams, f64)>,
+}
+
+impl SearchResult {
+    fn from_trace(trace: Vec<(TuningParams, f64)>) -> SearchResult {
+        let (best, best_time) = trace
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values comparable"))
+            .map(|(p, t)| (*p, *t))
+            .expect("non-empty trace");
+        SearchResult { best, best_time, evaluations: trace.len(), trace }
+    }
+}
+
+/// A search strategy.
+pub trait Searcher {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search on `space`, querying `oracle` at most `budget`
+    /// times (exhaustive ignores the budget and sweeps the space).
+    fn search(&mut self, space: &SearchSpace, oracle: &dyn Oracle, budget: usize)
+        -> SearchResult;
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! Synthetic oracles for exercising search strategies without the
+    //! compile/simulate stack.
+
+    use super::Oracle;
+    use oriole_codegen::TuningParams;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Smooth objective minimized at `(ideal_tc, ideal_bc)`; separable
+    /// and unimodal, so every sane searcher should find the basin.
+    pub struct QuadraticOracle {
+        pub ideal_tc: f64,
+        pub ideal_bc: f64,
+    }
+
+    impl Oracle for QuadraticOracle {
+        fn eval(&self, p: TuningParams) -> f64 {
+            let dt = (f64::from(p.tc) - self.ideal_tc) / 1024.0;
+            let db = (f64::from(p.bc) - self.ideal_bc) / 192.0;
+            1.0 + dt * dt + db * db + 0.01 * f64::from(p.uif - 1)
+        }
+    }
+
+    /// Counts oracle queries (thread-safe).
+    pub struct CountingOracle {
+        inner: QuadraticOracle,
+        count: AtomicUsize,
+    }
+
+    impl CountingOracle {
+        pub fn new() -> CountingOracle {
+            CountingOracle {
+                inner: QuadraticOracle { ideal_tc: 128.0, ideal_bc: 48.0 },
+                count: AtomicUsize::new(0),
+            }
+        }
+
+        pub fn calls(&self) -> usize {
+            self.count.load(Ordering::Relaxed)
+        }
+    }
+
+    impl Oracle for CountingOracle {
+        fn eval(&self, p: TuningParams) -> f64 {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.inner.eval(p)
+        }
+    }
+}

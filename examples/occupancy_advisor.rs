@@ -1,0 +1,31 @@
+//! Occupancy advisor: the Fig. 7 occupancy-calculator panels for every
+//! benchmark kernel on every GPU generation.
+//!
+//! ```sh
+//! cargo run --example occupancy_advisor
+//! ```
+
+use oriole::arch::ALL_GPUS;
+use oriole::codegen::{compile, TuningParams};
+use oriole::core::{report, suggest};
+use oriole::kernels::ALL_KERNELS;
+
+fn main() {
+    for kid in ALL_KERNELS {
+        for gpu in ALL_GPUS {
+            let n = kid.input_sizes()[2];
+            let kernel = compile(&kid.ast(n), gpu.spec(), TuningParams::with_geometry(160, 48))
+                .expect("compiles");
+            let suggestion = suggest::suggest(&kernel);
+            let text = report::occupancy_calculator_report(
+                gpu.spec(),
+                kid.name(),
+                kernel.params.tc,
+                kernel.regs_per_thread(),
+                kernel.smem_per_block,
+                &suggestion,
+            );
+            println!("{text}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: analyze a kernel statically, then check the prediction
+//! against the simulator.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use oriole::arch::Gpu;
+use oriole::codegen::{compile, TuningParams};
+use oriole::core::analyze;
+use oriole::kernels::KernelId;
+use oriole::sim::simulate;
+
+fn main() {
+    let gpu = Gpu::K20.spec();
+    let n = 256;
+
+    // 1. Build the ATAX kernel (y = Aᵀ(Ax)) and compile it for a Kepler
+    //    K20 at a default launch configuration.
+    let ast = KernelId::Atax.ast(n);
+    let params = TuningParams::with_geometry(128, 48);
+    let kernel = compile(&ast, gpu, params).expect("valid configuration");
+
+    // 2. Static analysis: no execution happens here — instruction mixes,
+    //    occupancy, parameter suggestions and a time prediction, all from
+    //    the disassembly and the architecture model.
+    let analysis = analyze(&kernel, n);
+    println!("{}", analysis.render());
+
+    // 3. Cross-check with the simulator (the "empirical" side).
+    let report = simulate(&kernel, n).expect("launchable");
+    println!(
+        "simulated: {:.4} ms ({} bound, occupancy {:.2})",
+        report.time_ms, report.bound, report.occupancy.occupancy
+    );
+
+    // 4. Try the analyzer's first suggested block size and compare.
+    let suggested_tc = analysis.rule_threads[0];
+    let better = compile(&ast, gpu, TuningParams::with_geometry(suggested_tc, 48))
+        .expect("suggested configuration is valid");
+    let better_report = simulate(&better, n).expect("launchable");
+    println!(
+        "suggested TC={suggested_tc}: {:.4} ms ({:+.1}% vs default)",
+        better_report.time_ms,
+        (better_report.time_ms / report.time_ms - 1.0) * 100.0
+    );
+}

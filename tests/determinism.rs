@@ -1,0 +1,82 @@
+//! Determinism guarantees across the whole stack: identical inputs must
+//! produce bit-identical outputs regardless of thread scheduling, process
+//! runs, or evaluation order — the property that makes every experiment
+//! in EXPERIMENTS.md reproducible.
+
+use oriole::arch::Gpu;
+use oriole::codegen::{compile, TuningParams};
+use oriole::core::analyze;
+use oriole::kernels::KernelId;
+use oriole::sim::measure;
+use oriole::tuner::{
+    AnnealingSearch, Evaluator, GeneticSearch, RandomSearch, SearchSpace, Searcher,
+};
+
+#[test]
+fn compile_analyze_measure_are_pure() {
+    let gpu = Gpu::M40.spec();
+    for kid in [KernelId::Atax, KernelId::Ex14Fj] {
+        let n = kid.input_sizes()[2];
+        let a = compile(&kid.ast(n), gpu, TuningParams::with_geometry(256, 96)).unwrap();
+        let b = compile(&kid.ast(n), gpu, TuningParams::with_geometry(256, 96)).unwrap();
+        assert_eq!(a, b, "{kid}: compilation must be deterministic");
+        assert_eq!(a.disassembly(), b.disassembly());
+
+        let ra = analyze(&a, n);
+        let rb = analyze(&b, n);
+        assert_eq!(ra.predicted_time, rb.predicted_time);
+        assert_eq!(ra.suggestion, rb.suggestion);
+
+        let ta = measure(&a, n, 10, 99).unwrap();
+        let tb = measure(&b, n, 10, 99).unwrap();
+        assert_eq!(ta.times_ms, tb.times_ms, "{kid}: seeded noise must replay");
+    }
+}
+
+#[test]
+fn parallel_batch_evaluation_is_order_independent() {
+    // The crossbeam-parallel evaluator must give results identical to the
+    // sequential path, in input order, no matter how workers interleave.
+    let kid = KernelId::Bicg;
+    let sizes = [64u64, 128];
+    let builder = move |n: u64| kid.ast(n);
+    let space = SearchSpace::tiny();
+    let points: Vec<_> = space.iter().collect();
+
+    let par = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    let batch = par.evaluate_batch(&points);
+
+    let seq = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    let sequential: Vec<_> = points.iter().map(|&p| seq.evaluate(p)).collect();
+
+    assert_eq!(batch, sequential);
+    // Repeat the parallel run: still identical.
+    let par2 = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    assert_eq!(par2.evaluate_batch(&points), batch);
+}
+
+#[test]
+fn stochastic_searchers_replay_exactly() {
+    let kid = KernelId::Atax;
+    let sizes = [64u64];
+    let builder = move |n: u64| kid.ast(n);
+    let space = SearchSpace::tiny();
+
+    let run_random = || {
+        let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+        RandomSearch { seed: 5 }.search(&space, &ev, 8)
+    };
+    assert_eq!(run_random(), run_random());
+
+    let run_anneal = || {
+        let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+        AnnealingSearch { seed: 5, ..Default::default() }.search(&space, &ev, 12)
+    };
+    assert_eq!(run_anneal(), run_anneal());
+
+    let run_genetic = || {
+        let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+        GeneticSearch { seed: 5, population: 6, ..Default::default() }.search(&space, &ev, 12)
+    };
+    assert_eq!(run_genetic(), run_genetic());
+}

@@ -1,0 +1,92 @@
+//! Fuzz-style property tests for the two text parsers: arbitrary input
+//! must never panic, and valid-input round-trips must be stable.
+
+use oriole::ir::text;
+use oriole::tuner::parse_spec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn disassembly_parser_is_total_on_garbage(input in "\\PC*") {
+        // Any outcome but a panic is acceptable.
+        let _ = text::parse(&input);
+    }
+
+    #[test]
+    fn disassembly_parser_is_total_on_listing_like_garbage(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just(".kernel k family=Kepler regs=0 smem=0 spill=0".to_string()),
+                Just(".block b freq=once".to_string()),
+                Just("  term ret".to_string()),
+                Just("  add.f32 %r0, %r1, %r2".to_string()),
+                Just("  term jump nowhere".to_string()),
+                Just("  frobnicate".to_string()),
+                "[a-z.%@!=() 0-9]{0,40}",
+            ],
+            0..12,
+        )
+    ) {
+        let _ = text::parse(&lines.join("\n"));
+    }
+
+    #[test]
+    fn spec_parser_is_total_on_garbage(input in "\\PC*") {
+        let _ = parse_spec(&input);
+    }
+
+    #[test]
+    fn spec_parser_is_total_on_param_like_garbage(
+        names in prop::collection::vec("[A-Z]{1,6}", 1..4),
+        exprs in prop::collection::vec(
+            prop_oneof![
+                Just("range(32,1025,32)".to_string()),
+                Just("[16,48]".to_string()),
+                Just("['', '-use_fast_math']".to_string()),
+                Just("range(0,0)".to_string()),
+                Just("[abc]".to_string()),
+                "[a-z0-9,()\\[\\]' -]{0,24}",
+            ],
+            1..4,
+        )
+    ) {
+        let text: String = names
+            .iter()
+            .zip(exprs.iter().cycle())
+            .map(|(n, e)| format!("param {n}[] = {e};\n"))
+            .collect();
+        // Must not panic; if it parses, the space must be non-empty and
+        // iterable.
+        if let Ok(space) = parse_spec(&text) {
+            prop_assert!(space.len() > 0);
+            let _ = space.point(0);
+        }
+    }
+
+    #[test]
+    fn valid_spec_round_trip_is_stable(
+        tc_step in 1u32..=8,
+        bc_count in 1usize..=8,
+        uif_hi in 1u32..=5,
+    ) {
+        let tc_step = tc_step * 32;
+        let bcs: Vec<String> = (1..=bc_count).map(|i| (i * 24).to_string()).collect();
+        let text = format!(
+            "param TC[] = range({tc_step},1025,{tc_step});\nparam BC[] = [{}];\nparam UIF[] = range(1,{});",
+            bcs.join(","),
+            uif_hi + 1
+        );
+        let space = parse_spec(&text).expect("valid spec parses");
+        prop_assert_eq!(space.bc.len(), bc_count);
+        prop_assert_eq!(space.uif.len(), uif_hi as usize);
+        prop_assert!(space.tc.iter().all(|t| t % tc_step == 0));
+        // Every flat index is reachable and coordinates round-trip.
+        for idx in [0, space.len() - 1, space.len() / 2] {
+            let p = space.point(idx);
+            let coords = space.coords_of(&p).expect("on grid");
+            prop_assert_eq!(space.at(coords), p);
+        }
+    }
+}

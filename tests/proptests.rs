@@ -1,0 +1,204 @@
+//! Property-based tests over the public API: random kernel ASTs must
+//! round-trip through the disassembler, keep the CFG well-formed, and
+//! keep the analyzers total.
+
+use oriole::arch::{Family, Gpu};
+use oriole::codegen::{compile, regalloc, transform, TuningParams};
+use oriole::ir::{
+    lower::{lower, LowerOptions},
+    text, AccessPattern, AluOp, Branch, Cfg, DivergenceKind, KernelAst, LaunchGeometry, Loop,
+    MemSpace, SizeExpr, Stmt, TripCount,
+};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary (bounded-depth) statement trees.
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let alu = prop_oneof![
+        Just(AluOp::AddF32),
+        Just(AluOp::MulF32),
+        Just(AluOp::FmaF32),
+        Just(AluOp::DivF32),
+        Just(AluOp::SqrtF32),
+        Just(AluOp::ExpF32),
+        Just(AluOp::SinCosF32),
+        Just(AluOp::AddI32),
+        Just(AluOp::MulI32),
+        Just(AluOp::BitI32),
+        Just(AluOp::CvtI32F32),
+        Just(AluOp::Cvt64),
+        Just(AluOp::MinMaxF32),
+    ];
+    let space = prop_oneof![
+        Just(MemSpace::Global),
+        Just(MemSpace::Shared),
+        Just(MemSpace::Constant),
+    ];
+    let pattern = prop_oneof![
+        Just(AccessPattern::Coalesced),
+        Just(AccessPattern::Broadcast),
+        Just(AccessPattern::Random),
+        (1u32..=64).prop_map(AccessPattern::Strided),
+    ];
+    let leaf = prop_oneof![
+        (alu, 1u32..4).prop_map(|(op, count)| Stmt::ops(op, count)),
+        (space.clone(), pattern.clone(), 1u32..3)
+            .prop_map(|(s, p, c)| Stmt::load(s, p, c)),
+        (space, pattern, 1u32..3).prop_map(|(s, p, c)| {
+            Stmt::Store(oriole::ir::MemStmt { space: s, pattern: p, elem_bytes: 4, count: c })
+        }),
+        Just(Stmt::SyncThreads),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let trip = prop_oneof![
+        (1u64..=64).prop_map(TripCount::Const),
+        (0u8..=2).prop_map(|p| TripCount::Size(SizeExpr::new(1.0, p))),
+        (1u8..=2).prop_map(|p| TripCount::GridStride(SizeExpr::new(1.0, p))),
+    ];
+    let inner = arb_stmt(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        2 => (trip, prop::collection::vec(inner.clone(), 1..4), any::<bool>()).prop_map(
+            |(trip, body, unrollable)| Stmt::Loop(Loop { trip, body, unrollable })
+        ),
+        1 => (
+            prop_oneof![Just(DivergenceKind::Uniform), Just(DivergenceKind::ThreadDependent)],
+            0.0f64..=1.0,
+            prop::collection::vec(inner.clone(), 1..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(divergence, taken_fraction, then_body, else_body)| {
+                Stmt::If(Branch { divergence, taken_fraction, then_body, else_body })
+            }),
+    ]
+    .boxed()
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelAst> {
+    prop::collection::vec(arb_stmt(2), 1..5).prop_map(|body| {
+        let mut k = KernelAst::new("prop_kernel");
+        k.body = body;
+        k
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn disassembly_round_trips(ast in arb_kernel(), fast in any::<bool>()) {
+        for family in [Family::Kepler, Family::Pascal] {
+            let program = lower(&ast, family, LowerOptions { fast_math: fast });
+            prop_assert!(program.validate().is_empty());
+            let listing = text::emit(&program);
+            let parsed = text::parse(&listing)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{listing}")))?;
+            prop_assert_eq!(parsed, program);
+        }
+    }
+
+    #[test]
+    fn cfg_is_well_formed(ast in arb_kernel()) {
+        let program = lower(&ast, Family::Maxwell, LowerOptions::default());
+        let cfg = Cfg::build(&program);
+        prop_assert_eq!(cfg.len(), program.blocks.len());
+        // Entry dominates every reachable block.
+        let reach = program.reachable();
+        for (i, ok) in reach.iter().enumerate() {
+            if *ok {
+                prop_assert!(cfg.dominates(oriole::ir::BlockId(0), oriole::ir::BlockId(i as u32)));
+            }
+        }
+        // Loop bodies contain their headers and latches.
+        for l in cfg.natural_loops(&program) {
+            prop_assert!(l.body.contains(&l.header));
+            prop_assert!(l.body.contains(&l.latch));
+        }
+    }
+
+    #[test]
+    fn expected_counts_bounded_by_warp_counts(ast in arb_kernel()) {
+        // eval_expected ≤ eval_warp per block × small slack: divergence
+        // saturation and ceil trips only ever increase warp-level counts.
+        let program = lower(&ast, Family::Kepler, LowerOptions::default());
+        for block in &program.blocks {
+            let e = block.freq.eval_expected(64, 128, 8);
+            let w = block.freq.eval_warp(64, 128, 8);
+            prop_assert!(e <= w * (1.0 + 1e-9), "expected {} > warp {}", e, w);
+        }
+    }
+
+    #[test]
+    fn unroll_never_loses_floating_point_work(ast in arb_kernel(), u in 2u32..=6) {
+        // Unrolling replicates bodies and ceil-divides trip counts, so
+        // expected *floating-point* work can only stay equal or grow
+        // (remainder iterations are modeled as full copies) — never
+        // shrink. The FLOPS *class* total can legitimately fall because
+        // loop-latch integer adds are IntAdd32 (Table II groups them
+        // under FLOPS) and unrolling removes latch executions.
+        use oriole::arch::OpClass;
+        let unrolled = transform::unroll(&ast, u);
+        let geom = LaunchGeometry::new(64, 128, 8);
+        let fp = |k: &KernelAst| {
+            let m = oriole::ir::expected_mix_of(k, Family::Kepler, geom);
+            m.get(OpClass::FpIns32) + m.get(OpClass::FpIns64) + m.get(OpClass::LogSinCos)
+        };
+        let b = fp(&ast);
+        let a = fp(&unrolled);
+        prop_assert!(a >= b * 0.99, "base {} after {}", b, a);
+    }
+
+    #[test]
+    fn compilation_and_analysis_total(ast in arb_kernel(), tc_i in 1u32..=8, uif in 1u32..=5) {
+        // Whatever the kernel, the pipeline never panics: it compiles (or
+        // cleanly refuses) and the analyzer/simulator stay total.
+        let gpu = Gpu::M40.spec();
+        let mut params = TuningParams::with_geometry(tc_i * 64, 48);
+        params.uif = uif;
+        match compile(&ast, gpu, params) {
+            Err(_) => {} // clean refusal is fine
+            Ok(kernel) => {
+                let analysis = oriole::core::analyze(&kernel, 64);
+                prop_assert!(analysis.predicted_time >= 0.0);
+                match oriole::sim::simulate(&kernel, 64) {
+                    Err(_) => {} // infeasible occupancy is a clean outcome
+                    Ok(report) => {
+                        prop_assert!(report.time_ms.is_finite());
+                        prop_assert!(report.time_ms > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regalloc_monotone_under_unroll(u in 1u32..=6) {
+        // More unrolling never reduces estimated register demand for the
+        // benchmark kernels.
+        let ast = oriole::kernels::KernelId::Atax.ast(64);
+        let base = lower(&transform::unroll(&ast, 1), Family::Kepler, LowerOptions::default());
+        let more = lower(&transform::unroll(&ast, u), Family::Kepler, LowerOptions::default());
+        let a = regalloc::allocate(&base, 255);
+        let b = regalloc::allocate(&more, 255);
+        prop_assert!(b.demand >= a.demand);
+    }
+
+    #[test]
+    fn occupancy_bounds_hold(tc in 1u32..=1024, regs in 0u32..=255, smem in 0u32..=49_152) {
+        for gpu in oriole::arch::ALL_GPUS {
+            let o = oriole::arch::occupancy(
+                gpu.spec(),
+                oriole::arch::OccupancyInput {
+                    tc,
+                    regs_per_thread: regs,
+                    smem_per_block: smem,
+                    shmem_per_mp: None,
+                },
+            );
+            prop_assert!((0.0..=1.0).contains(&o.occupancy));
+            prop_assert!(o.active_warps <= gpu.spec().warps_per_mp);
+            prop_assert!(o.active_blocks <= gpu.spec().blocks_per_mp);
+        }
+    }
+}
