@@ -24,7 +24,7 @@ fn main() {
         "Kernel", "Arch", "Rank", "Occ mean", "Occ std", "Occ mode", "RegIns mean",
         "RegIns std", "Alloc", "T 25th", "T 50th", "T 75th",
     ];
-    let mut table = TextTable::new(&header.iter().copied().collect::<Vec<_>>());
+    let mut table = TextTable::new(&header);
 
     for kid in opts.kernels() {
         let sizes = opts.sizes(kid);

@@ -14,6 +14,7 @@ use oriole_arch::Gpu;
 use oriole_kernels::KernelId;
 use oriole_tuner::{Evaluator, Measurement, SearchSpace};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Common experiment options parsed from `argv`.
 #[derive(Debug, Clone)]
@@ -100,7 +101,7 @@ pub fn exhaustive_measurements(
     gpu: Gpu,
     space: &SearchSpace,
     sizes: &[u64],
-) -> Vec<Measurement> {
+) -> Vec<Arc<Measurement>> {
     let builder = move |n: u64| kid.ast(n);
     let evaluator = Evaluator::new(&builder, gpu.spec(), sizes);
     evaluator.evaluate_space(space)

@@ -1,13 +1,36 @@
 //! The compilation driver: AST + tuning point + target GPU →
 //! [`CompiledKernel`].
+//!
+//! Compilation is **split-phase** so the autotuner can amortize the
+//! expensive work across a search space:
+//!
+//! * The **front-end** ([`FrontEnd`], built by [`front_end`]) performs
+//!   everything that depends only on the unroll factor `UIF` and the
+//!   compiler flags `CFLAGS`: source transformation (unrolling) and
+//!   lowering to the linear IR. The remaining tuning axes (`TC`, `BC`,
+//!   `PL`, `SC`) do not affect lowering, so one front-end artifact is
+//!   shared by every point that agrees on `(UIF, CFLAGS)` — in the
+//!   paper's Fig. 3 space that is 5,120 / (5 × 2) = 512 points per
+//!   artifact. The register-allocation result, which depends only on the
+//!   lowered program and the device register cap, is computed once per
+//!   artifact on first use and cached.
+//! * The **back-end** ([`FrontEnd::specialize`]) is cheap and
+//!   param-dependent: parameter validation, the shared-memory footprint
+//!   (which scales with `TC` for block-scaled tiles), metadata fill-in,
+//!   and launch validation.
+//!
+//! The monolithic [`compile`] remains as a thin wrapper running both
+//! phases; it produces bit-identical [`CompiledKernel`]s to the split
+//! pipeline (a property-tested invariant, see `tests/proptests.rs`).
 
-use crate::params::TuningParams;
-use crate::regalloc;
+use crate::params::{CompilerFlags, TuningParams};
+use crate::regalloc::{self, RegAllocation};
 use crate::transform;
 use oriole_arch::{validate_launch, GpuSpec, LaunchCheck};
 use oriole_ir::lower::{lower, LowerOptions};
-use oriole_ir::{KernelAst, LaunchGeometry, Program};
+use oriole_ir::{KernelAst, LaunchGeometry, Program, SharedDecl};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Compilation failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,54 +98,158 @@ impl CompiledKernel {
     }
 }
 
+/// The param-independent half of compilation: the unrolled, lowered
+/// program for one `(AST, GPU, UIF, CFLAGS)` combination.
+///
+/// Build once with [`front_end`], then stamp out variants for any `TC`
+/// / `BC` / `PL` / `SC` with [`FrontEnd::specialize`]. The register
+/// allocation — a function of the lowered program and the device cap
+/// only — is computed lazily on the first specialization and reused by
+/// every subsequent one.
+#[derive(Debug)]
+pub struct FrontEnd {
+    gpu: &'static GpuSpec,
+    uif: u32,
+    cflags: CompilerFlags,
+    /// Lowered program with zeroed metadata (the back-end fills it).
+    program: Program,
+    /// Shared-memory declarations of the source kernel (unrolling never
+    /// changes them); the back-end sizes them for each `TC`.
+    shared: Vec<SharedDecl>,
+    /// Lazily computed, shared by all specializations.
+    alloc: OnceLock<RegAllocation>,
+}
+
+/// Runs the param-independent front-end: validates `uif`, unrolls, and
+/// lowers `ast` for `gpu`.
+///
+/// Fails only when `uif` itself is out of range; all other parameter
+/// problems are back-end concerns ([`FrontEnd::specialize`]).
+pub fn front_end(
+    ast: &KernelAst,
+    gpu: &'static GpuSpec,
+    uif: u32,
+    cflags: CompilerFlags,
+) -> Result<FrontEnd, CompileError> {
+    if let Some(problem) = TuningParams::uif_problem(uif) {
+        return Err(CompileError::InvalidParams(vec![problem]));
+    }
+    let transformed = transform::unroll(ast, uif);
+    let program = lower(&transformed, gpu.family, LowerOptions { fast_math: cflags.fast_math });
+    Ok(FrontEnd {
+        gpu,
+        uif,
+        cflags,
+        program,
+        shared: ast.shared.clone(),
+        alloc: OnceLock::new(),
+    })
+}
+
+impl FrontEnd {
+    /// The target device this artifact was lowered for.
+    pub fn gpu(&self) -> &'static GpuSpec {
+        self.gpu
+    }
+
+    /// The unroll factor baked into the lowered program.
+    pub fn uif(&self) -> u32 {
+        self.uif
+    }
+
+    /// The compiler flags baked into the lowered program.
+    pub fn cflags(&self) -> CompilerFlags {
+        self.cflags
+    }
+
+    /// The lowered program before metadata fill-in.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The cached register allocation for this lowered program at the
+    /// device cap (computed on first use).
+    pub fn allocation(&self) -> RegAllocation {
+        *self
+            .alloc
+            .get_or_init(|| regalloc::allocate(&self.program, self.gpu.regs_per_thread_max))
+    }
+
+    /// The cheap param-dependent back-end: validation, shared-memory
+    /// sizing, metadata fill-in, and launch checking.
+    ///
+    /// `params` must agree with this artifact on `uif` and `cflags`
+    /// (debug-asserted): those axes are baked into the lowered program.
+    pub fn specialize(&self, params: TuningParams) -> Result<CompiledKernel, CompileError> {
+        debug_assert_eq!(params.uif, self.uif, "front-end artifact built for a different UIF");
+        debug_assert_eq!(
+            params.cflags, self.cflags,
+            "front-end artifact built for different CFLAGS"
+        );
+        let problems = params.problems(self.gpu);
+        if !problems.is_empty() {
+            return Err(CompileError::InvalidParams(problems));
+        }
+
+        let smem = oriole_ir::shared_bytes_for_block(&self.shared, params.tc);
+        if smem > self.gpu.shmem_per_block {
+            return Err(CompileError::SharedMemExceeded {
+                needed: smem,
+                limit: self.gpu.shmem_per_block,
+            });
+        }
+
+        let alloc = self.allocation();
+        let mut program = self.program.clone();
+        program.meta.regs_per_thread = alloc.regs_per_thread;
+        program.meta.smem_static = smem;
+        program.meta.spill_bytes = alloc.spill_bytes;
+
+        // Defensive: the launch itself must be legal now that resources
+        // are known (registers were capped by the allocator, so only
+        // pathological inputs can fail here).
+        debug_assert!(
+            validate_launch(
+                self.gpu,
+                LaunchCheck {
+                    threads_per_block: params.tc,
+                    blocks: params.bc,
+                    regs_per_thread: alloc.regs_per_thread,
+                    shmem_per_block: smem,
+                }
+            )
+            .is_ok()
+        );
+
+        Ok(CompiledKernel {
+            params,
+            gpu: self.gpu,
+            program,
+            smem_per_block: smem,
+            reg_demand: alloc.demand,
+        })
+    }
+}
+
 /// Compiles `ast` for `gpu` at tuning point `params`.
 ///
 /// Pipeline: validate → unroll (`UIF`) → lower (with `CFLAGS`) →
 /// register-allocate → fill metadata. Deterministic: identical inputs
-/// produce identical [`CompiledKernel`]s.
+/// produce identical [`CompiledKernel`]s. Equivalent to
+/// [`front_end`] + [`FrontEnd::specialize`] — use the split form when
+/// compiling many points that share `(UIF, CFLAGS)`.
 pub fn compile(
     ast: &KernelAst,
     gpu: &'static GpuSpec,
     params: TuningParams,
 ) -> Result<CompiledKernel, CompileError> {
+    // Full validation first, so callers see every problem at once (the
+    // front-end alone would only report UIF trouble).
     let problems = params.problems(gpu);
     if !problems.is_empty() {
         return Err(CompileError::InvalidParams(problems));
     }
-
-    let smem = ast.shared_bytes(params.tc);
-    if smem > gpu.shmem_per_block {
-        return Err(CompileError::SharedMemExceeded { needed: smem, limit: gpu.shmem_per_block });
-    }
-
-    let transformed = transform::unroll(ast, params.uif);
-    let mut program = lower(
-        &transformed,
-        gpu.family,
-        LowerOptions { fast_math: params.cflags.fast_math },
-    );
-    let alloc = regalloc::allocate(&program, gpu.regs_per_thread_max);
-    program.meta.regs_per_thread = alloc.regs_per_thread;
-    program.meta.smem_static = smem;
-    program.meta.spill_bytes = alloc.spill_bytes;
-
-    // Defensive: the launch itself must be legal now that resources are
-    // known (registers were capped by the allocator, so only pathological
-    // inputs can fail here).
-    debug_assert!(
-        validate_launch(
-            gpu,
-            LaunchCheck {
-                threads_per_block: params.tc,
-                blocks: params.bc,
-                regs_per_thread: alloc.regs_per_thread,
-                shmem_per_block: smem,
-            }
-        )
-        .is_ok()
-    );
-
-    Ok(CompiledKernel { params, gpu, program, smem_per_block: smem, reg_demand: alloc.demand })
+    front_end(ast, gpu, params.uif, params.cflags)?.specialize(params)
 }
 
 #[cfg(test)]
@@ -239,5 +366,46 @@ mod tests {
         let c = compile(&ast, Gpu::K20.spec(), params(128, 24, 1, false)).unwrap();
         let g = c.geometry(256);
         assert_eq!((g.n, g.tc, g.bc), (256, 128, 24));
+    }
+
+    #[test]
+    fn split_pipeline_matches_monolithic() {
+        // One front-end artifact serves every (TC, BC, PL) point and
+        // reproduces compile() bit-for-bit.
+        let ast = KernelId::MatVec2D.ast(128);
+        let gpu = Gpu::K20.spec();
+        let fe = front_end(&ast, gpu, 3, CompilerFlags { fast_math: true }).unwrap();
+        for tc in [64u32, 256, 1024] {
+            for bc in [24u32, 96] {
+                for pl in [PreferredL1::Kb16, PreferredL1::Kb48] {
+                    let mut p = params(tc, bc, 3, true);
+                    p.pl = pl;
+                    assert_eq!(fe.specialize(p), compile(&ast, gpu, p), "{p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_end_rejects_bad_uif_only() {
+        let ast = KernelId::Atax.ast(64);
+        let gpu = Gpu::K20.spec();
+        assert!(front_end(&ast, gpu, 0, CompilerFlags::default()).is_err());
+        assert!(front_end(&ast, gpu, 9, CompilerFlags::default()).is_err());
+        // TC trouble is a back-end concern.
+        let fe = front_end(&ast, gpu, 1, CompilerFlags::default()).unwrap();
+        let err = fe.specialize(params(100, 48, 1, false)).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidParams(_)));
+    }
+
+    #[test]
+    fn allocation_is_computed_once_and_reused() {
+        let ast = KernelId::Bicg.ast(64);
+        let gpu = Gpu::K20.spec();
+        let fe = front_end(&ast, gpu, 2, CompilerFlags::default()).unwrap();
+        let a = fe.allocation();
+        let k = fe.specialize(params(128, 48, 2, false)).unwrap();
+        assert_eq!(k.regs_per_thread(), a.regs_per_thread);
+        assert_eq!(k.reg_demand, a.demand);
     }
 }

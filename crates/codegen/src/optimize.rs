@@ -36,8 +36,7 @@ pub struct OptStats {
 /// execution frequencies are untouched.
 pub fn peephole(program: &Program) -> (Program, OptStats) {
     let mut out = program.clone();
-    let mut stats = OptStats::default();
-    stats.moves_forwarded = forward_moves(&mut out);
+    let mut stats = OptStats { moves_forwarded: forward_moves(&mut out), ..OptStats::default() };
     loop {
         let removed = eliminate_dead(&mut out);
         if removed == 0 {

@@ -94,6 +94,13 @@ impl TuningParams {
         Self { tc, bc, ..Self::default() }
     }
 
+    /// The validation problem with an unroll factor, if any — shared
+    /// between full-point validation and the compile front-end (which
+    /// sees only `UIF`/`CFLAGS`), so the two can never drift.
+    pub fn uif_problem(uif: u32) -> Option<String> {
+        (uif == 0 || uif > 8).then(|| format!("UIF {uif} outside supported range 1..=8"))
+    }
+
     /// Validation problems for this configuration on `gpu` (empty =
     /// valid). Mirrors the checks `nvcc`/the runtime would raise.
     pub fn problems(&self, gpu: &GpuSpec) -> Vec<String> {
@@ -107,7 +114,7 @@ impl TuningParams {
                     self.tc, gpu.threads_per_block
                 ));
             }
-            if self.tc % gpu.warp_size != 0 {
+            if !self.tc.is_multiple_of(gpu.warp_size) {
                 out.push(format!(
                     "TC {} is not a multiple of the warp size {}",
                     self.tc, gpu.warp_size
@@ -117,8 +124,8 @@ impl TuningParams {
         if self.bc == 0 {
             out.push("BC must be positive".into());
         }
-        if self.uif == 0 || self.uif > 8 {
-            out.push(format!("UIF {} outside supported range 1..=8", self.uif));
+        if let Some(problem) = Self::uif_problem(self.uif) {
+            out.push(problem);
         }
         if self.sc == 0 || self.sc > 8 {
             out.push(format!("SC {} outside supported range 1..=8", self.sc));
@@ -169,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // exercising one bad field at a time
     fn invalid_configurations_flagged() {
         let gpu = Gpu::K20.spec();
         let mut p = TuningParams::default();

@@ -340,6 +340,14 @@ impl SharedDecl {
     }
 }
 
+/// Static shared-memory bytes a set of declarations occupies for a
+/// block of `tc` threads — the single accounting rule shared by
+/// [`KernelAst::shared_bytes`] and the compile back-end (which carries
+/// the declarations without the rest of the AST).
+pub fn shared_bytes_for_block(shared: &[SharedDecl], tc: u32) -> u32 {
+    shared.iter().map(|d| d.bytes_for_block(tc)).sum()
+}
+
 /// A complete kernel in structured form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelAst {
@@ -359,7 +367,7 @@ impl KernelAst {
 
     /// Static shared-memory bytes for a block of `tc` threads.
     pub fn shared_bytes(&self, tc: u32) -> u32 {
-        self.shared.iter().map(|d| d.bytes_for_block(tc)).sum()
+        shared_bytes_for_block(&self.shared, tc)
     }
 
     /// Walks every statement depth-first, calling `f` on each.

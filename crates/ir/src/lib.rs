@@ -40,8 +40,8 @@ pub mod lower;
 pub mod text;
 
 pub use ast::{
-    AccessPattern, AluOp, Branch, DivergenceKind, KernelAst, Loop, MemSpace, MemStmt, OpStmt,
-    SharedDecl, SizeExpr, Stmt, TripCount,
+    shared_bytes_for_block, AccessPattern, AluOp, Branch, DivergenceKind, KernelAst, Loop,
+    MemSpace, MemStmt, OpStmt, SharedDecl, SizeExpr, Stmt, TripCount,
 };
 pub use block::{BasicBlock, BlockId, FreqExpr, Program, ProgramMeta, Terminator};
 pub use cfg::{Cfg, DivergentRegion, NaturalLoop};

@@ -6,6 +6,10 @@
 //! count at geometry `g` must match the analytic FLOP formula), so the
 //! resource model cannot drift from the semantics it claims to describe.
 
+// Index-based loops here mirror the paper's Fortran/C kernel listings
+// (and the GPU index arithmetic being modeled) on purpose.
+#![allow(clippy::needless_range_loop)]
+
 use crate::workload::{Grid3d, Matrix};
 
 /// λ parameter of the solid-fuel-ignition (Bratu) problem used by ex14FJ.

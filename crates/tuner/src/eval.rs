@@ -2,19 +2,43 @@
 //!
 //! Each tuning point is compiled and run on the simulator for every
 //! input size, ten noisy trials each, with the fifth trial selected —
-//! exactly the paper's protocol. Evaluation parallelizes across variants
-//! with crossbeam scoped threads; results are returned in input order and
-//! memoized (stochastic searchers revisit points), so the whole layer is
-//! deterministic regardless of thread scheduling.
+//! exactly the paper's protocol. The layer is built for search-loop
+//! throughput, with three caching tiers stacked under a deterministic
+//! interface:
+//!
+//! 1. **AST cache** — `ast_builder` runs once per input size (ex14FJ's
+//!    divergence fraction depends on the size), not once per
+//!    variant × size.
+//! 2. **Front-end cache** — the expensive compile front-end (unroll +
+//!    lower, see [`oriole_codegen::front_end`]) is keyed by
+//!    `(size, UIF, CFLAGS)`: the `TC`/`BC`/`PL`/`SC` axes don't affect
+//!    lowering, so the paper's 5,120-point space shares ten lowered
+//!    programs per input size. Each variant then pays only the cheap
+//!    param-dependent back-end ([`FrontEnd::specialize`]).
+//! 3. **Measurement memo** — a sharded hash map of
+//!    `Arc<Measurement>` with **in-flight deduplication**: concurrent
+//!    misses on one point block on a per-key [`OnceLock`] instead of
+//!    recomputing, so revisits by stochastic searchers are free, cache
+//!    hits never clone the full measurement, and
+//!    [`Evaluator::unique_evaluations`] counts each point exactly once
+//!    no matter how many threads race on it.
+//!
+//! [`Evaluator::evaluate_batch`] self-schedules a worker pool over a
+//! pre-sized slot vector (one atomic index counter, one write-once slot
+//! per point — no per-slot mutexes) and returns results in input order,
+//! so the whole layer stays deterministic regardless of thread
+//! scheduling.
 
 use crate::space::SearchSpace;
 use oriole_arch::GpuSpec;
-use oriole_codegen::{compile, CompiledKernel, TuningParams};
+use oriole_codegen::{front_end, CompileError, FrontEnd, TuningParams};
 use oriole_ir::KernelAst;
 use oriole_sim::{dynamic_mix, measure, TrialProtocol};
-use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// What a search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +87,46 @@ impl Measurement {
     }
 }
 
+/// Shard count for the memo maps. A power of two comfortably above the
+/// worker count keeps lock contention negligible without wasting memory.
+const SHARDS: usize = 32;
+
+/// A sharded map of write-once values with in-flight deduplication:
+/// the first caller of `get_or_init` for a key computes the value while
+/// any concurrent callers for the same key block on its [`OnceLock`];
+/// later callers clone the cached value without recomputation.
+struct ShardedOnceMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedOnceMap<K, V> {
+    fn new() -> ShardedOnceMap<K, V> {
+        ShardedOnceMap { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard_of(key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Returns the value for `key`, computing it with `init` exactly
+    /// once across all threads. `init` runs outside the shard lock, so
+    /// slow computations only block callers of the *same* key.
+    fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut shard =
+                self.shards[Self::shard_of(&key)].lock().expect("evaluation never poisons locks");
+            Arc::clone(shard.entry(key).or_default())
+        };
+        cell.get_or_init(init).clone()
+    }
+}
+
+/// Key of one cached compile front-end: the lowering inputs that vary
+/// inside a search (`gpu` is fixed per evaluator).
+type FrontEndKey = (u64, u32, oriole_codegen::CompilerFlags);
+
 /// Evaluates tuning points for one kernel × GPU × input-size set.
 pub struct Evaluator<'a> {
     /// Builds the kernel AST for an input size (ex14FJ's divergence
@@ -80,8 +144,11 @@ pub struct Evaluator<'a> {
     pub base_seed: u64,
     /// Objective definition.
     pub objective: Objective,
-    cache: Mutex<HashMap<TuningParams, Measurement>>,
+    asts: ShardedOnceMap<u64, Arc<KernelAst>>,
+    front_ends: ShardedOnceMap<FrontEndKey, Arc<Result<FrontEnd, CompileError>>>,
+    cache: ShardedOnceMap<TuningParams, Arc<Measurement>>,
     evaluations: AtomicUsize,
+    lowerings: AtomicUsize,
 }
 
 impl<'a> Evaluator<'a> {
@@ -97,16 +164,28 @@ impl<'a> Evaluator<'a> {
             sizes,
             trials: 10,
             protocol: TrialProtocol::FifthOfTen,
-            base_seed: 0x0_0121_0_1e,
+            base_seed: 0x0012_101e,
             objective: Objective::TotalTime,
-            cache: Mutex::new(HashMap::new()),
+            asts: ShardedOnceMap::new(),
+            front_ends: ShardedOnceMap::new(),
+            cache: ShardedOnceMap::new(),
             evaluations: AtomicUsize::new(0),
+            lowerings: AtomicUsize::new(0),
         }
     }
 
     /// Number of *distinct* variants evaluated so far (cache misses).
+    /// Concurrent misses on one point are deduplicated, so hammering a
+    /// single point from many threads counts it once.
     pub fn unique_evaluations(&self) -> usize {
         self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Number of compile front-ends (unroll + lower) actually run — at
+    /// most one per distinct `(size, UIF, CFLAGS)` key, however many
+    /// points are evaluated.
+    pub fn front_end_lowerings(&self) -> usize {
+        self.lowerings.load(Ordering::Relaxed)
     }
 
     /// Per-variant deterministic seed.
@@ -127,15 +206,37 @@ impl<'a> Evaluator<'a> {
         h
     }
 
+    /// The kernel AST for input size `n` (built once per size).
+    fn ast_for(&self, n: u64) -> Arc<KernelAst> {
+        self.asts.get_or_init(n, || Arc::new((self.ast_builder)(n)))
+    }
+
+    /// The cached compile front-end for `(n, uif, cflags)`.
+    fn front_end_for(&self, n: u64, params: TuningParams) -> Arc<Result<FrontEnd, CompileError>> {
+        self.front_ends.get_or_init((n, params.uif, params.cflags), || {
+            let ast = self.ast_for(n);
+            let fe = front_end(&ast, self.gpu, params.uif, params.cflags);
+            if fe.is_ok() {
+                // Rejected UIFs (`Err`) never reach unroll/lower, so
+                // they don't count as lowerings run.
+                self.lowerings.fetch_add(1, Ordering::Relaxed);
+            }
+            Arc::new(fe)
+        })
+    }
+
     fn evaluate_uncached(&self, params: TuningParams) -> Measurement {
         let mut per_size_ms = Vec::with_capacity(self.sizes.len());
         let mut occupancy = 0.0;
         let mut regs = 0u32;
         let mut reg_instructions = 0.0;
         for &n in self.sizes {
-            let ast = (self.ast_builder)(n);
-            let kernel: CompiledKernel = match compile(&ast, self.gpu, params) {
-                Ok(k) => k,
+            let fe = self.front_end_for(n, params);
+            let kernel = match fe.as_ref() {
+                Ok(fe) => match fe.specialize(params) {
+                    Ok(k) => k,
+                    Err(_) => return Measurement::infeasible(params),
+                },
                 Err(_) => return Measurement::infeasible(params),
             };
             let trials = match measure(&kernel, n, self.trials, self.seed_for(&params) ^ n) {
@@ -162,40 +263,42 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Evaluates one point (memoized).
-    pub fn evaluate(&self, params: TuningParams) -> Measurement {
-        if let Some(hit) = self.cache.lock().get(&params) {
-            return hit.clone();
-        }
-        let m = self.evaluate_uncached(params);
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().insert(params, m.clone());
-        m
+    /// Evaluates one point (memoized; hits return a shared handle
+    /// without cloning the measurement).
+    pub fn evaluate(&self, params: TuningParams) -> Arc<Measurement> {
+        self.cache.get_or_init(params, || {
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(self.evaluate_uncached(params))
+        })
     }
 
     /// Evaluates a batch in parallel; results in input order.
-    pub fn evaluate_batch(&self, points: &[TuningParams]) -> Vec<Measurement> {
+    ///
+    /// Workers self-schedule off one atomic cursor (an idle worker
+    /// steals the next unclaimed index), writing into a pre-sized vector
+    /// of write-once slots. Points duplicated within the batch — or
+    /// raced by other callers — are deduplicated by the memo layer.
+    pub fn evaluate_batch(&self, points: &[TuningParams]) -> Vec<Arc<Measurement>> {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         if points.len() < 8 || threads < 2 {
             return points.iter().map(|&p| self.evaluate(p)).collect();
         }
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Measurement>>> =
-            points.iter().map(|_| Mutex::new(None)).collect();
-        crossbeam::thread::scope(|scope| {
+        let slots: Vec<OnceLock<Arc<Measurement>>> =
+            points.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
             for _ in 0..threads.min(points.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= points.len() {
                         break;
                     }
                     let m = self.evaluate(points[i]);
-                    *results[i].lock() = Some(m);
+                    slots[i].set(m).expect("each index is claimed by exactly one worker");
                 });
             }
-        })
-        .expect("evaluation workers don't panic");
-        results
+        });
+        slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("every slot filled"))
             .collect()
@@ -203,7 +306,7 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluates the entire space (exhaustive sweep), in flat-index
     /// order.
-    pub fn evaluate_space(&self, space: &SearchSpace) -> Vec<Measurement> {
+    pub fn evaluate_space(&self, space: &SearchSpace) -> Vec<Arc<Measurement>> {
         let points: Vec<TuningParams> = space.iter().collect();
         self.evaluate_batch(&points)
     }
@@ -245,6 +348,50 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_misses_on_one_point_deduplicate() {
+        // Regression test for the duplicate-evaluation race: many
+        // threads hammering one cold point must produce exactly one
+        // computation (and identical results).
+        let sizes = [64u64];
+        let ev = evaluator(&sizes);
+        let p = TuningParams::with_geometry(128, 48);
+        let results: Vec<Arc<Measurement>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16).map(|_| scope.spawn(|| ev.evaluate(p))).collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+        assert_eq!(ev.unique_evaluations(), 1, "concurrent misses recomputed the point");
+        for m in &results {
+            assert_eq!(*m, results[0]);
+        }
+    }
+
+    #[test]
+    fn front_end_runs_once_per_size_uif_cflags_over_fig3_space() {
+        // Acceptance criterion: sweeping the paper's full 5,120-point
+        // Fig. 3 space performs at most one front-end lowering per
+        // distinct (size, UIF, CFLAGS) key — here 1 × 5 × 2 = 10 for
+        // 5,120 evaluated points.
+        let sizes = [64u64];
+        let ev = evaluator(&sizes);
+        let space = SearchSpace::paper_default();
+        let measurements = ev.evaluate_space(&space);
+        assert_eq!(measurements.len(), 5120);
+        assert_eq!(ev.unique_evaluations(), 5120);
+        let distinct_keys = sizes.len() * space.uif.len() * space.cflags.len();
+        assert!(
+            ev.front_end_lowerings() <= distinct_keys,
+            "{} front-end lowerings for {} distinct (size, UIF, CFLAGS) keys",
+            ev.front_end_lowerings(),
+            distinct_keys
+        );
+        // Warm traversal adds neither lowerings nor evaluations.
+        let again = ev.evaluate_space(&space);
+        assert_eq!(again, measurements);
+        assert_eq!(ev.unique_evaluations(), 5120);
+        assert_eq!(ev.front_end_lowerings(), distinct_keys);
+    }
+
+    #[test]
     fn batch_matches_sequential_and_orders_results() {
         let sizes = [64u64];
         let space = SearchSpace::tiny();
@@ -252,7 +399,7 @@ mod tests {
         let ev_batch = evaluator(&sizes);
         let batch = ev_batch.evaluate_batch(&points);
         let ev_seq = evaluator(&sizes);
-        let seq: Vec<Measurement> = points.iter().map(|&p| ev_seq.evaluate(p)).collect();
+        let seq: Vec<Arc<Measurement>> = points.iter().map(|&p| ev_seq.evaluate(p)).collect();
         assert_eq!(batch, seq);
         for (m, p) in batch.iter().zip(&points) {
             assert_eq!(m.params, *p);

@@ -8,9 +8,12 @@
 //! * [`space`] — the cartesian search space of Table III, with the
 //!   paper's default 5,120-variant instantiation.
 //! * [`eval`] — variant evaluation: compile → simulate → ten noisy
-//!   trials → fifth selected (§IV-A), parallelized with crossbeam scoped
-//!   threads behind a deterministic, order-restoring interface, with a
-//!   memoizing cache so stochastic searchers don't re-pay revisits.
+//!   trials → fifth selected (§IV-A), parallelized with scoped worker
+//!   threads behind a deterministic, order-restoring interface. Three
+//!   caching tiers (per-size ASTs, shared compile front-ends keyed by
+//!   `(size, UIF, CFLAGS)`, and a sharded measurement memo with
+//!   in-flight deduplication) make exhaustive sweeps and stochastic
+//!   revisits cheap.
 //! * [`search`] — the search algorithms Orio ships (exhaustive, random,
 //!   simulated annealing, genetic, Nelder–Mead simplex; §III-C "Current
 //!   search algorithms in Orio include…") plus the paper's new

@@ -6,12 +6,19 @@
 //! represents the lower portion (poor performers)."
 
 use crate::eval::Measurement;
+use std::borrow::Borrow;
 
 /// Splits measurements at the 50th percentile of execution time.
 /// Infeasible variants are excluded before ranking. Returns
 /// `(rank1_good, rank2_poor)`.
-pub fn split_ranks(measurements: &[Measurement]) -> (Vec<&Measurement>, Vec<&Measurement>) {
-    let mut feasible: Vec<&Measurement> = measurements.iter().filter(|m| m.feasible).collect();
+///
+/// Accepts any slice of owned, borrowed, or [`Arc`](std::sync::Arc)ed
+/// measurements (the evaluation engine hands out shared handles).
+pub fn split_ranks<M: Borrow<Measurement>>(
+    measurements: &[M],
+) -> (Vec<&Measurement>, Vec<&Measurement>) {
+    let mut feasible: Vec<&Measurement> =
+        measurements.iter().map(Borrow::borrow).filter(|m| m.feasible).collect();
     feasible.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite times"));
     let mid = feasible.len() / 2;
     let rank2 = feasible.split_off(mid);

@@ -61,12 +61,15 @@ pub fn measurement_csv_row(m: &Measurement) -> String {
 }
 
 /// Renders a full measurement table as CSV.
-pub fn measurements_csv(measurements: &[Measurement]) -> String {
+///
+/// Accepts any slice of owned, borrowed, or [`Arc`](std::sync::Arc)ed
+/// measurements (the evaluation engine hands out shared handles).
+pub fn measurements_csv<M: std::borrow::Borrow<Measurement>>(measurements: &[M]) -> String {
     let mut out = String::with_capacity(measurements.len() * 64);
     out.push_str(MEASUREMENT_CSV_HEADER);
     out.push('\n');
     for m in measurements {
-        let _ = writeln!(out, "{}", measurement_csv_row(m));
+        let _ = writeln!(out, "{}", measurement_csv_row(m.borrow()));
     }
     out
 }

@@ -8,8 +8,8 @@
 
 mod anneal;
 mod exhaustive;
-mod hybrid;
 mod genetic;
+mod hybrid;
 mod neldermead;
 mod random;
 mod static_search;
@@ -32,8 +32,32 @@ pub trait Oracle: Sync {
     /// return `f64::INFINITY`).
     fn eval(&self, params: TuningParams) -> f64;
 
-    /// Batch evaluation; default falls back to per-point calls.
-    /// Implementations may parallelize; results must be in input order.
+    /// Batch evaluation; the default falls back to per-point calls.
+    ///
+    /// # Ordering contract
+    ///
+    /// `eval_many(points)[i]` is the value of `points[i]` — always, even
+    /// when an implementation evaluates out of order, in parallel, or
+    /// deduplicates repeats. Searchers rely on positional correspondence
+    /// to zip values back onto their points, so results are never
+    /// reordered, filtered, or deduplicated in the returned vector:
+    ///
+    /// ```
+    /// use oriole_codegen::TuningParams;
+    /// use oriole_tuner::Oracle;
+    ///
+    /// struct TcOracle;
+    /// impl Oracle for TcOracle {
+    ///     fn eval(&self, p: TuningParams) -> f64 {
+    ///         f64::from(p.tc)
+    ///     }
+    /// }
+    ///
+    /// let a = TuningParams::with_geometry(128, 48);
+    /// let b = TuningParams::with_geometry(64, 48);
+    /// // Input order is preserved, and repeats appear once per request.
+    /// assert_eq!(TcOracle.eval_many(&[a, b, a]), vec![128.0, 64.0, 128.0]);
+    /// ```
     fn eval_many(&self, points: &[TuningParams]) -> Vec<f64> {
         points.iter().map(|&p| self.eval(p)).collect()
     }

@@ -120,13 +120,13 @@ impl Searcher for NelderMeadSearch {
                 } else {
                     // Shrink everything toward the best vertex.
                     let best_x = simplex[0].0.clone();
-                    for i in 1..simplex.len() {
+                    for vertex in simplex.iter_mut().skip(1) {
                         if trace.len() >= budget {
                             break;
                         }
-                        let shrunk = blend(&best_x, &simplex[i].0, self.sigma);
+                        let shrunk = blend(&best_x, &vertex.0, self.sigma);
                         let v = eval_at(&shrunk, &mut trace);
-                        simplex[i] = (shrunk, v);
+                        *vertex = (shrunk, v);
                     }
                 }
             }

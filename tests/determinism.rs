@@ -35,7 +35,7 @@ fn compile_analyze_measure_are_pure() {
 
 #[test]
 fn parallel_batch_evaluation_is_order_independent() {
-    // The crossbeam-parallel evaluator must give results identical to the
+    // The parallel evaluator must give results identical to the
     // sequential path, in input order, no matter how workers interleave.
     let kid = KernelId::Bicg;
     let sizes = [64u64, 128];
@@ -53,6 +53,35 @@ fn parallel_batch_evaluation_is_order_independent() {
     // Repeat the parallel run: still identical.
     let par2 = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
     assert_eq!(par2.evaluate_batch(&points), batch);
+}
+
+#[test]
+fn warm_cache_replays_cold_results_exactly() {
+    // Cold evaluation (compute) and warm evaluation (memo hit, shared
+    // front-end artifacts) must be indistinguishable: same numbers from
+    // a fresh evaluator, a warmed evaluator, and a warmed parallel
+    // batch.
+    let kid = KernelId::Atax;
+    let sizes = [64u64, 128];
+    let builder = move |n: u64| kid.ast(n);
+    let space = SearchSpace::tiny();
+    let points: Vec<_> = space.iter().collect();
+
+    let warm = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    let cold_results = warm.evaluate_batch(&points);
+    let unique_after_cold = warm.unique_evaluations();
+
+    // Warm traversals: sequential and parallel, point-wise and batched.
+    let warm_seq: Vec<_> = points.iter().map(|&p| warm.evaluate(p)).collect();
+    let warm_batch = warm.evaluate_batch(&points);
+    assert_eq!(warm_seq, cold_results);
+    assert_eq!(warm_batch, cold_results);
+    // Warm hits computed nothing new.
+    assert_eq!(warm.unique_evaluations(), unique_after_cold);
+
+    // A second evaluator reproduces the cold run bit-for-bit.
+    let cold = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    assert_eq!(cold.evaluate_batch(&points), cold_results);
 }
 
 #[test]

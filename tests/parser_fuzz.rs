@@ -60,7 +60,7 @@ proptest! {
         // Must not panic; if it parses, the space must be non-empty and
         // iterable.
         if let Ok(space) = parse_spec(&text) {
-            prop_assert!(space.len() > 0);
+            prop_assert!(!space.is_empty());
             let _ = space.point(0);
         }
     }

@@ -173,6 +173,41 @@ proptest! {
     }
 
     #[test]
+    fn split_pipeline_matches_monolithic_compile(
+        ast in arb_kernel(),
+        tc_i in 1u32..=16,
+        bc_i in 1u32..=8,
+        uif in 1u32..=5,
+        pl_kb in prop_oneof![Just(16u32), Just(48u32)],
+        fast in any::<bool>(),
+    ) {
+        // The cached front-end + cheap back-end must reproduce the
+        // monolithic compile() bit-for-bit on every tuning point — the
+        // invariant that makes the evaluator's compilation cache safe.
+        use oriole::codegen::{front_end, CompilerFlags, PreferredL1};
+        let gpu = Gpu::K20.spec();
+        let params = TuningParams {
+            tc: tc_i * 64,
+            bc: bc_i * 24,
+            uif,
+            pl: PreferredL1::from_kb(pl_kb).expect("16 or 48"),
+            sc: 1,
+            cflags: CompilerFlags { fast_math: fast },
+        };
+        let split = front_end(&ast, gpu, params.uif, params.cflags)
+            .and_then(|fe| fe.specialize(params));
+        let monolithic = compile(&ast, gpu, params);
+        prop_assert_eq!(split, monolithic);
+        // And one artifact serves every (TC, BC, PL) sibling point.
+        if let Ok(fe) = front_end(&ast, gpu, params.uif, params.cflags) {
+            for (tc, bc) in [(64u32, 24u32), (512, 96), (1024, 192)] {
+                let sibling = TuningParams { tc, bc, ..params };
+                prop_assert_eq!(fe.specialize(sibling), compile(&ast, gpu, sibling));
+            }
+        }
+    }
+
+    #[test]
     fn regalloc_monotone_under_unroll(u in 1u32..=6) {
         // More unrolling never reduces estimated register demand for the
         // benchmark kernels.

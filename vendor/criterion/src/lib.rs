@@ -1,0 +1,203 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This shim keeps the bench sources
+//! unchanged — `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `iter` / `iter_batched`, `black_box` — and implements a simple
+//! mean-of-N wall-clock timer instead of criterion's statistical engine.
+//! Good enough for A/B comparisons on one machine, which is all the
+//! workspace's benches claim.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched in
+/// [`Bencher::iter_batched`]. The shim runs one input per iteration
+/// regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output; criterion would batch few.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level bench context (a far smaller cousin of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores
+    /// harness arguments (`--bench`, filters) for drop-in compatibility.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _crit: self }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_bench(None, &name.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benches in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(Some(&self.name), &name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, samples: u64, mut f: F) {
+    let mut b = Bencher { iterations: samples, elapsed: Duration::ZERO };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let per_iter = if b.iterations > 0 { b.elapsed / b.iterations as u32 } else { Duration::ZERO };
+    println!("bench: {label:<48} {per_iter:>12.3?}/iter ({} iters)", b.iterations);
+}
+
+/// Declares a bench entry point composed of bench functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_runs_routine_sample_size_times() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(7);
+            g.bench_function("count", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_and_routine() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| {
+                    runs += 1;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert_eq!(runs, 10);
+    }
+}

@@ -1,0 +1,202 @@
+//! Regex-flavoured string strategies: `&str` patterns as strategies,
+//! mirroring proptest's `impl Strategy for &str`.
+//!
+//! Supports the subset this workspace's fuzz tests use: literal
+//! characters, `\PC` (any printable character), character classes with
+//! ranges and escapes (`[a-z0-9,()\[\]' -]`), and the quantifiers `*`,
+//! `+`, `?`, `{m}`, `{m,n}`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any printable character (`\PC`).
+    AnyPrintable,
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC` / `\P{C}`: not-a-control character.
+                    match chars.peek() {
+                        Some('C') => {
+                            chars.next();
+                            Atom::AnyPrintable
+                        }
+                        Some('{') => {
+                            for inner in chars.by_ref() {
+                                if inner == '}' {
+                                    break;
+                                }
+                            }
+                            Atom::AnyPrintable
+                        }
+                        _ => Atom::Literal('P'),
+                    }
+                }
+                Some(esc) => Atom::Literal(esc),
+                None => Atom::Literal('\\'),
+            },
+            '[' => {
+                let mut members: Vec<char> = Vec::new();
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                loop {
+                    match chars.next() {
+                        None | Some(']') => break,
+                        Some('\\') => {
+                            if let Some(esc) = chars.next() {
+                                members.push(esc);
+                            }
+                        }
+                        Some('-') if !members.is_empty() && chars.peek() != Some(&']') => {
+                            let lo = members.pop().expect("checked non-empty");
+                            let hi = chars.next().expect("peeked");
+                            ranges.push((lo, hi));
+                        }
+                        Some(m) => members.push(m),
+                    }
+                }
+                ranges.extend(members.into_iter().map(|m| (m, m)));
+                assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            lit => Atom::Literal(lit),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut bounds = String::new();
+                for b in chars.by_ref() {
+                    if b == '}' {
+                        break;
+                    }
+                    bounds.push(b);
+                }
+                match bounds.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repetition lower bound"),
+                        n.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let m: u32 = bounds.trim().parse().expect("repetition count");
+                        (m, m)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyPrintable => {
+            // Mostly printable ASCII with an occasional wider scalar, so
+            // parsers see multi-byte UTF-8 too.
+            if rng.range_u64(0, 19) == 0 {
+                char::from_u32(rng.range_u64(0xA1, 0x2FF) as u32).unwrap_or('¶')
+            } else {
+                char::from_u32(rng.range_u64(0x20, 0x7E) as u32).expect("printable ASCII")
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.range_usize(0, ranges.len())];
+            char::from_u32(rng.range_u64(lo as u64, hi as u64) as u32).unwrap_or(lo)
+        }
+    }
+}
+
+/// `&str` regex patterns generate matching `String`s.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let reps = rng.range_u64(u64::from(piece.min), u64::from(piece.max));
+            for _ in 0..reps {
+                out.push(gen_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string_tests", 0)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9,()\\[\\]' -]{0,24}".gen(&mut r);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| {
+                c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || ",()[]' -".contains(c)
+            }), "unexpected char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[A-Z]{1,6}".gen(&mut r);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn printable_star_produces_no_controls() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "\\PC*".gen(&mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut r = rng();
+        assert_eq!("abc".gen(&mut r), "abc");
+    }
+}
