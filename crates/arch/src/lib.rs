@@ -35,10 +35,12 @@ mod family;
 mod limits;
 pub mod occupancy;
 mod spec;
+pub mod table;
 mod throughput;
 
 pub use family::{ComputeCapability, Family};
 pub use limits::{validate_launch, LaunchCheck, LaunchError};
 pub use occupancy::{occupancy, Limiter, Occupancy, OccupancyInput};
+pub use table::OccupancyTable;
 pub use spec::{Gpu, GpuSpec, ALL_GPUS};
 pub use throughput::{InstrClass, OpClass, ThroughputTable, ALL_OP_CLASSES};

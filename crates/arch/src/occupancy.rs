@@ -84,7 +84,7 @@ fn ceil_to(v: u32, unit: u32) -> u32 {
 }
 
 /// Shared-memory allocation granularity per family (bytes).
-fn smem_alloc_unit(family: Family) -> u32 {
+pub(crate) fn smem_alloc_unit(family: Family) -> u32 {
     match family {
         Family::Fermi => 128,
         _ => 256,

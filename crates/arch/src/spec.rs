@@ -70,7 +70,11 @@ impl fmt::Display for Gpu {
 ///
 /// Field names follow the paper's symbols where one exists; each doc
 /// comment states the symbol.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` are structural over every field, so a spec clone can key
+/// process-level caches without relying on `&'static` pointer identity —
+/// synthetic and custom devices participate on equal footing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GpuSpec {
     /// Marketing name ("M2050", "K20", "M40", "P100").
     pub name: &'static str,

@@ -6,18 +6,21 @@
 //! cargo run --release -p oriole-bench --bin fig4_thread_hist [--quick]
 //! ```
 
-use oriole_bench::{exhaustive_measurements, thread_histogram, ExpOptions};
-use oriole_tuner::split_ranks;
+use oriole_bench::{exhaustive_measurements_in, thread_histogram, ExpOptions};
+use oriole_tuner::{split_ranks, ArtifactStore};
 
 fn main() {
     let opts = ExpOptions::from_env();
     let space = opts.space();
+    // One store for the whole run: sweeps share front-ends and model
+    // caches across GPUs of one kernel (and with any future re-sweep).
+    let store = ArtifactStore::new();
     println!("Fig. 4: thread counts for Orio autotuning exhaustive search.\n");
 
     for kid in opts.kernels() {
         let sizes = opts.sizes(kid);
         for gpu in opts.gpus() {
-            let measurements = exhaustive_measurements(kid, gpu, &space, &sizes);
+            let measurements = exhaustive_measurements_in(&store, kid, gpu, &space, &sizes);
             let (rank1, rank2) = split_ranks(&measurements);
             println!("=== kernel {} | arch {} ===", kid.name(), gpu.spec().name);
             for (name, rank) in [("rank 1 (good)", &rank1), ("rank 2 (poor)", &rank2)] {

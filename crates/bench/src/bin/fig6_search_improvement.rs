@@ -8,12 +8,16 @@
 
 use oriole_bench::{ExpOptions, TextTable};
 use oriole_codegen::{compile, TuningParams};
-use oriole_core::analyze;
-use oriole_tuner::{Evaluator, ExhaustiveSearch, PruneLevel, Searcher, StaticSearch};
+use oriole_core::analyze_in;
+use oriole_tuner::{ArtifactStore, ExhaustiveSearch, PruneLevel, Searcher, StaticSearch};
 
 fn main() {
     let opts = ExpOptions::from_env();
     let space = opts.space();
+    // One store for the run: the exhaustive sweep warms the measurement
+    // tier, so both pruned searches below are pure cache hits instead of
+    // re-measuring their (large) subspaces from scratch.
+    let store = ArtifactStore::new();
     let mut table = TextTable::new(&[
         "Kernel",
         "Arch",
@@ -29,7 +33,7 @@ fn main() {
         for gpu in opts.gpus() {
             let builder = move |n: u64| kid.ast(n);
 
-            let evaluator = Evaluator::new(&builder, gpu.spec(), &sizes);
+            let evaluator = store.evaluator(kid.name(), &builder, gpu.spec(), &sizes);
             let exhaustive = ExhaustiveSearch.search(&space, &evaluator, usize::MAX);
 
             let probe_n = sizes[sizes.len() / 2];
@@ -39,10 +43,10 @@ fn main() {
                 TuningParams::with_geometry(128, 48),
             )
             .expect("compiles");
-            let analysis = analyze(&probe, probe_n);
+            let analysis = analyze_in(store.context(gpu.spec()).occupancy_table(), &probe, probe_n);
 
             let run_pruned = |level: PruneLevel| {
-                let ev = Evaluator::new(&builder, gpu.spec(), &sizes);
+                let ev = store.evaluator(kid.name(), &builder, gpu.spec(), &sizes);
                 let mut s = StaticSearch::new(analysis.clone(), level);
                 let r = s.search(&space, &ev, usize::MAX);
                 (s.report.expect("ran").improvement, r.best_time)

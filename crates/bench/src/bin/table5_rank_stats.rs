@@ -7,12 +7,13 @@
 //! cargo run --release -p oriole-bench --bin table5_rank_stats [--quick]
 //! ```
 
-use oriole_bench::{exhaustive_measurements, ExpOptions, TextTable};
-use oriole_tuner::{rank_stats, split_ranks};
+use oriole_bench::{exhaustive_measurements_in, ExpOptions, TextTable};
+use oriole_tuner::{rank_stats, split_ranks, ArtifactStore};
 
 fn main() {
     let opts = ExpOptions::from_env();
     let space = opts.space();
+    let store = ArtifactStore::new();
     eprintln!(
         "exhaustive sweep: {} variants x {} kernels x {} GPUs ...",
         space.len(),
@@ -29,7 +30,7 @@ fn main() {
     for kid in opts.kernels() {
         let sizes = opts.sizes(kid);
         for gpu in opts.gpus() {
-            let measurements = exhaustive_measurements(kid, gpu, &space, &sizes);
+            let measurements = exhaustive_measurements_in(&store, kid, gpu, &space, &sizes);
             let (rank1, rank2) = split_ranks(&measurements);
             for (rank_name, rank) in [("1", rank1), ("2", rank2)] {
                 let s = rank_stats(&rank);

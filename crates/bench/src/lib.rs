@@ -12,7 +12,7 @@
 
 use oriole_arch::Gpu;
 use oriole_kernels::KernelId;
-use oriole_tuner::{Evaluator, Measurement, SearchSpace};
+use oriole_tuner::{ArtifactStore, Evaluator, Measurement, SearchSpace};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -95,7 +95,7 @@ impl ExpOptions {
 
 /// Runs the §IV-B exhaustive sweep for one kernel on one GPU: every
 /// variant in `space`, measured with the paper's 10-trials/fifth-selected
-/// protocol over `sizes`.
+/// protocol over `sizes` — with a private, throwaway evaluator.
 pub fn exhaustive_measurements(
     kid: KernelId,
     gpu: Gpu,
@@ -104,6 +104,23 @@ pub fn exhaustive_measurements(
 ) -> Vec<Arc<Measurement>> {
     let builder = move |n: u64| kid.ast(n);
     let evaluator = Evaluator::new(&builder, gpu.spec(), sizes);
+    evaluator.evaluate_space(space)
+}
+
+/// [`exhaustive_measurements`] borrowing tiers from a process-level
+/// [`ArtifactStore`]: repeated or overlapping sweeps (the experiment
+/// bins loop over kernels × GPUs, and several figures share sweeps)
+/// reuse front-ends, model reports and whole measurements. Results are
+/// bit-identical to the throwaway-evaluator path.
+pub fn exhaustive_measurements_in(
+    store: &ArtifactStore,
+    kid: KernelId,
+    gpu: Gpu,
+    space: &SearchSpace,
+    sizes: &[u64],
+) -> Vec<Arc<Measurement>> {
+    let builder = move |n: u64| kid.ast(n);
+    let evaluator = store.evaluator(kid.name(), &builder, gpu.spec(), sizes);
     evaluator.evaluate_space(space)
 }
 
@@ -218,5 +235,18 @@ mod tests {
         let ms = exhaustive_measurements(KernelId::Atax, Gpu::K20, &space, &[64]);
         assert_eq!(ms.len(), space.len());
         assert!(ms.iter().all(|m| m.feasible));
+    }
+
+    #[test]
+    fn store_backed_sweep_matches_throwaway_sweep() {
+        let space = SearchSpace::tiny();
+        let fresh = exhaustive_measurements(KernelId::Atax, Gpu::K20, &space, &[64]);
+        let store = ArtifactStore::new();
+        let cold = exhaustive_measurements_in(&store, KernelId::Atax, Gpu::K20, &space, &[64]);
+        let warm = exhaustive_measurements_in(&store, KernelId::Atax, Gpu::K20, &space, &[64]);
+        assert_eq!(cold, fresh);
+        assert_eq!(warm, fresh);
+        // The warm sweep re-measured nothing.
+        assert_eq!(store.stats().unique_evaluations, space.len());
     }
 }

@@ -5,15 +5,25 @@
 use crate::args::Args;
 use oriole_arch::{Gpu, ALL_GPUS};
 use oriole_codegen::{compile, CompilerFlags, PreferredL1, TuningParams};
-use oriole_core::{analyze, predict_time, report, suggest};
+use oriole_core::{analyze_in, predict_time, report, suggest};
 use oriole_kernels::KernelId;
-use oriole_sim::{measure, simulate, TrialProtocol};
+use oriole_sim::TrialProtocol;
 use oriole_tuner::{
-    measurements_csv, parse_spec, replay, AnnealingSearch, Evaluator, ExhaustiveSearch,
-    GeneticSearch, HybridSearch, NelderMeadSearch, RandomSearch, SearchSpace, Searcher,
-    StaticSearch,
+    measurements_csv, parse_spec, replay, AnnealingSearch, ArtifactStore, EvalStats,
+    ExhaustiveSearch, GeneticSearch, HybridSearch, NelderMeadSearch, RandomSearch, SearchSpace,
+    Searcher, StaticSearch,
 };
 use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// The process-level artifact store: every command of this process —
+/// and every `run()` call in one embedding process — shares front-ends,
+/// model caches and measurements. Sharing is keyed so results are
+/// bit-identical to throwaway evaluators; it only changes wall-clock.
+fn store() -> &'static ArtifactStore {
+    static STORE: OnceLock<ArtifactStore> = OnceLock::new();
+    STORE.get_or_init(ArtifactStore::new)
+}
 
 /// Dispatches a full command line.
 pub fn run(argv: &[String]) -> Result<String, String> {
@@ -54,6 +64,8 @@ commands:
 
 common variant flags: --tc --bc --uif --pl --sc --fast-math
 tune flags: --budget B --sizes 32,64,... --spec FILE --seed N --csv
+            --stats (print cache telemetry: unique evaluations,
+            lowerings, occupancy/mix/report hit rates)
 "
     .to_string()
 }
@@ -113,7 +125,7 @@ fn cmd_analyze(args: &Args) -> Result<String, String> {
     let n: u64 = args.num_or("n", 128)?;
     let params = parse_params(args)?;
     let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
-    let analysis = analyze(&kernel, n);
+    let analysis = analyze_in(store().context(gpu.spec()).occupancy_table(), &kernel, n);
     Ok(analysis.render())
 }
 
@@ -133,7 +145,7 @@ fn cmd_suggest(args: &Args) -> Result<String, String> {
     let n: u64 = args.num_or("n", 128)?;
     let params = parse_params(args)?;
     let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
-    let analysis = analyze(&kernel, n);
+    let analysis = analyze_in(store().context(gpu.spec()).occupancy_table(), &kernel, n);
     let mut out = String::new();
     let _ = writeln!(out, "{} on {}: {}", kernel_id, gpu, analysis.suggestion.row());
     let threads: Vec<String> = analysis.rule_threads.iter().map(|t| t.to_string()).collect();
@@ -154,8 +166,11 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
     let seed: u64 = args.num_or("seed", 42)?;
     let params = parse_params(args)?;
     let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
-    let r = simulate(&kernel, n).map_err(|e| e.to_string())?;
-    let t = measure(&kernel, n, trials, seed).map_err(|e| e.to_string())?;
+    // The shared context caches the report: repeated simulate/tune calls
+    // in one process re-use it (bit-identical to the free functions).
+    let ctx = store().context(gpu.spec());
+    let r = ctx.simulate(&kernel, n).map_err(|e| e.to_string())?;
+    let t = ctx.measure(&kernel, n, trials, seed).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "{kernel_id} on {gpu} at N={n} with {params}");
     let _ = writeln!(
@@ -203,7 +218,8 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     let budget: usize = args.num_or("budget", default_budget)?;
 
     let builder = move |n: u64| kernel_id.ast(n);
-    let evaluator = Evaluator::new(&builder, gpu.spec(), &sizes);
+    let evaluator = store().evaluator(kernel_id.name(), &builder, gpu.spec(), &sizes);
+    let stats_before = evaluator.stats();
 
     let run = |searcher: &mut dyn Searcher| searcher.search(&space, &evaluator, budget);
     let (result, extra) = match strategy.as_str() {
@@ -222,7 +238,8 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
                 TuningParams::with_geometry(128, 48),
             )
             .map_err(|e| e.to_string())?;
-            let analysis = analyze(&probe, n_probe);
+            let analysis =
+                analyze_in(store().context(gpu.spec()).occupancy_table(), &probe, n_probe);
             let level = if strategy == "static" {
                 oriole_tuner::search::PruneLevel::Static
             } else {
@@ -276,20 +293,74 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "{kernel_id} on {gpu}, sizes {sizes:?}, strategy {strategy}");
     out.push_str(&extra);
+    // "unique" is this invocation's contribution: the process-level
+    // store carries tiers across runs, so the raw tier counter could
+    // otherwise exceed this run's evaluation count.
     let _ = writeln!(
         out,
         "best: {} -> {:.4} ms total ({} evaluations, {} unique)",
         result.best,
         result.best_time,
         result.evaluations,
-        evaluator.unique_evaluations()
+        evaluator.unique_evaluations() - stats_before.unique_evaluations
     );
+    if args.switch("stats") {
+        out.push_str(&render_stats(stats_before, evaluator.stats()));
+    }
     if args.switch("csv") && !result.trace.is_empty() {
         let measurements: Vec<_> =
             result.trace.iter().map(|(p, _)| evaluator.evaluate(*p)).collect();
         out.push_str(&measurements_csv(&measurements));
     }
     Ok(out)
+}
+
+/// Renders the `--stats` cache-telemetry block: what this run added on
+/// top of whatever the process-level store already held, plus the model
+/// context's hit rates — the observable form of the speedups the bench
+/// harness measures.
+fn render_stats(before: EvalStats, after: EvalStats) -> String {
+    let rate = |hits: u64, misses: u64| -> String {
+        let total = hits + misses;
+        if total == 0 {
+            "n/a (0 lookups)".to_string()
+        } else {
+            format!("{:.1}% ({hits}/{total})", 100.0 * hits as f64 / total as f64)
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "cache stats (this run, process-level store):");
+    let _ = writeln!(
+        out,
+        "  unique evaluations: {} new, {} in tier",
+        after.unique_evaluations - before.unique_evaluations,
+        after.unique_evaluations
+    );
+    let _ = writeln!(
+        out,
+        "  front-end lowerings: {} new, {} in tier",
+        after.front_end_lowerings - before.front_end_lowerings,
+        after.front_end_lowerings
+    );
+    let m = after.model;
+    let b = before.model;
+    let _ = writeln!(
+        out,
+        "  occupancy table: {} entries, hit rate {}",
+        m.occ_entries,
+        rate(m.occ_hits - b.occ_hits, m.occ_misses - b.occ_misses)
+    );
+    let _ = writeln!(
+        out,
+        "  dynamic-mix memo: hit rate {}",
+        rate(m.mix_hits - b.mix_hits, m.mix_misses - b.mix_misses)
+    );
+    let _ = writeln!(
+        out,
+        "  sim-report cache: hit rate {}",
+        rate(m.report_hits - b.report_hits, m.report_misses - b.report_misses)
+    );
+    out
 }
 
 #[cfg(test)]
@@ -352,6 +423,42 @@ mod tests {
         let out =
             call("tune --kernel atax --gpu k20 --strategy random --budget 6 --sizes 32").unwrap();
         assert!(out.contains("best:"), "{out}");
+    }
+
+    #[test]
+    fn tune_stats_prints_cache_telemetry() {
+        let out = call(
+            "tune --kernel atax --gpu k20 --strategy random --budget 6 --sizes 32 --stats",
+        )
+        .unwrap();
+        for needle in [
+            "cache stats",
+            "unique evaluations:",
+            "front-end lowerings:",
+            "occupancy table:",
+            "dynamic-mix memo:",
+            "sim-report cache:",
+        ] {
+            assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn repeated_tune_invocations_share_the_process_store() {
+        // Identical invocations in one process: the second run's
+        // exhaustive sweep is served from the store (zero new unique
+        // evaluations) and both report the identical best.
+        let line = "tune --kernel bicg --gpu m40 --strategy exhaustive --sizes 32 --stats";
+        let first = call(line).unwrap();
+        let second = call(line).unwrap();
+        // Identical best point and time; the second run computed nothing.
+        let best = |s: &str| {
+            let l = s.lines().find(|l| l.starts_with("best:")).unwrap();
+            l.split(" (").next().unwrap().to_string()
+        };
+        assert_eq!(best(&first), best(&second));
+        assert!(second.contains("evaluations, 0 unique"), "{second}");
+        assert!(second.contains("unique evaluations: 0 new"), "{second}");
     }
 
     #[test]

@@ -69,8 +69,9 @@ impl std::error::Error for CompileError {}
 pub struct CompiledKernel {
     /// The tuning point this variant was compiled for.
     pub params: TuningParams,
-    /// Target device.
-    pub gpu: &'static GpuSpec,
+    /// Target device (owned, so variants for synthetic or custom
+    /// `GpuSpec`s — tests, future backends — need no static registry).
+    pub gpu: GpuSpec,
     /// Lowered program; `meta` carries regs/thread, static shared memory
     /// and spill bytes.
     pub program: Program,
@@ -108,7 +109,7 @@ impl CompiledKernel {
 /// every subsequent one.
 #[derive(Debug)]
 pub struct FrontEnd {
-    gpu: &'static GpuSpec,
+    gpu: GpuSpec,
     uif: u32,
     cflags: CompilerFlags,
     /// Lowered program with zeroed metadata (the back-end fills it).
@@ -127,7 +128,7 @@ pub struct FrontEnd {
 /// problems are back-end concerns ([`FrontEnd::specialize`]).
 pub fn front_end(
     ast: &KernelAst,
-    gpu: &'static GpuSpec,
+    gpu: &GpuSpec,
     uif: u32,
     cflags: CompilerFlags,
 ) -> Result<FrontEnd, CompileError> {
@@ -137,7 +138,7 @@ pub fn front_end(
     let transformed = transform::unroll(ast, uif);
     let program = lower(&transformed, gpu.family, LowerOptions { fast_math: cflags.fast_math });
     Ok(FrontEnd {
-        gpu,
+        gpu: gpu.clone(),
         uif,
         cflags,
         program,
@@ -148,8 +149,16 @@ pub fn front_end(
 
 impl FrontEnd {
     /// The target device this artifact was lowered for.
-    pub fn gpu(&self) -> &'static GpuSpec {
-        self.gpu
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The shared-memory declarations of the source kernel — the inputs
+    /// of the per-`TC` footprint the back-end computes. Exposed so
+    /// content-addressed caches can key on everything a specialization
+    /// depends on.
+    pub fn shared_decls(&self) -> &[SharedDecl] {
+        &self.shared
     }
 
     /// The unroll factor baked into the lowered program.
@@ -186,7 +195,7 @@ impl FrontEnd {
             params.cflags, self.cflags,
             "front-end artifact built for different CFLAGS"
         );
-        let problems = params.problems(self.gpu);
+        let problems = params.problems(&self.gpu);
         if !problems.is_empty() {
             return Err(CompileError::InvalidParams(problems));
         }
@@ -210,7 +219,7 @@ impl FrontEnd {
         // pathological inputs can fail here).
         debug_assert!(
             validate_launch(
-                self.gpu,
+                &self.gpu,
                 LaunchCheck {
                     threads_per_block: params.tc,
                     blocks: params.bc,
@@ -223,7 +232,7 @@ impl FrontEnd {
 
         Ok(CompiledKernel {
             params,
-            gpu: self.gpu,
+            gpu: self.gpu.clone(),
             program,
             smem_per_block: smem,
             reg_demand: alloc.demand,
@@ -240,7 +249,7 @@ impl FrontEnd {
 /// compiling many points that share `(UIF, CFLAGS)`.
 pub fn compile(
     ast: &KernelAst,
-    gpu: &'static GpuSpec,
+    gpu: &GpuSpec,
     params: TuningParams,
 ) -> Result<CompiledKernel, CompileError> {
     // Full validation first, so callers see every problem at once (the

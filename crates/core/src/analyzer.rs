@@ -8,7 +8,7 @@ use crate::pipeline::PipelineUtilization;
 use crate::predict::predict_time;
 use crate::rules;
 use crate::suggest::{suggest_from, Suggestion};
-use oriole_arch::{GpuSpec, OccupancyInput, ThroughputTable};
+use oriole_arch::{GpuSpec, OccupancyInput, OccupancyTable, ThroughputTable};
 use oriole_codegen::CompiledKernel;
 use oriole_ir::{text, LaunchGeometry, ParseError, Program};
 use std::fmt::Write as _;
@@ -23,8 +23,9 @@ use std::fmt::Write as _;
 pub struct StaticAnalysis {
     /// Kernel name from the listing.
     pub kernel_name: String,
-    /// Target device.
-    pub gpu: &'static GpuSpec,
+    /// Target device (owned, so analyses of synthetic/custom devices
+    /// need no static registry).
+    pub gpu: GpuSpec,
     /// Geometry analyzed.
     pub geometry: LaunchGeometry,
     /// Instruction-mix metrics (§III-B1).
@@ -47,7 +48,23 @@ pub struct StaticAnalysis {
 pub fn analyze(kernel: &CompiledKernel, n: u64) -> StaticAnalysis {
     analyze_program(
         &kernel.program,
-        kernel.gpu,
+        &kernel.gpu,
+        None,
+        LaunchGeometry::new(n, kernel.params.tc, kernel.params.bc),
+    )
+}
+
+/// [`analyze`] with the occupancy model served from a device
+/// [`OccupancyTable`] (usually a model context's). The suggestion scan
+/// and occupancy analysis probe the same tiny quantized domain for every
+/// kernel on a device, so batch analyses hit the memo; results are
+/// bit-identical to [`analyze`].
+pub fn analyze_in(table: &OccupancyTable, kernel: &CompiledKernel, n: u64) -> StaticAnalysis {
+    debug_assert_eq!(*table.spec(), kernel.gpu, "table built for another device");
+    analyze_program(
+        &kernel.program,
+        &kernel.gpu,
+        Some(table),
         LaunchGeometry::new(n, kernel.params.tc, kernel.params.bc),
     )
 }
@@ -57,7 +74,7 @@ pub fn analyze(kernel: &CompiledKernel, n: u64) -> StaticAnalysis {
 /// match the listing's `family=` header.
 pub fn analyze_disassembly(
     listing: &str,
-    gpu: &'static GpuSpec,
+    gpu: &GpuSpec,
     geometry: LaunchGeometry,
 ) -> Result<StaticAnalysis, ParseError> {
     let program = text::parse(listing)?;
@@ -70,35 +87,42 @@ pub fn analyze_disassembly(
             ),
         });
     }
-    Ok(analyze_program(&program, gpu, geometry))
+    Ok(analyze_program(&program, gpu, None, geometry))
 }
 
 fn analyze_program(
     program: &Program,
-    gpu: &'static GpuSpec,
+    gpu: &GpuSpec,
+    table: Option<&OccupancyTable>,
     geometry: LaunchGeometry,
 ) -> StaticAnalysis {
     let mix = MixReport::compute(program, geometry);
-    let occupancy = OccupancyAnalysis::compute(
-        gpu,
-        OccupancyInput {
-            tc: geometry.tc,
-            regs_per_thread: program.meta.regs_per_thread,
-            smem_per_block: program.meta.smem_static,
-            shmem_per_mp: None,
-        },
-    );
+    let occ_input = OccupancyInput {
+        tc: geometry.tc,
+        regs_per_thread: program.meta.regs_per_thread,
+        smem_per_block: program.meta.smem_static,
+        shmem_per_mp: None,
+    };
+    let occupancy = match table {
+        Some(t) => OccupancyAnalysis::compute_in(t, occ_input),
+        None => OccupancyAnalysis::compute(gpu, occ_input),
+    };
     let pipeline = PipelineUtilization::compute(
         &mix.expected_counts,
         ThroughputTable::for_family(gpu.family),
     );
     let divergence = analyze_divergence(program, geometry);
-    let suggestion = suggest_from(gpu, program.meta.regs_per_thread, program.meta.smem_static);
+    let suggestion = match table {
+        Some(t) => {
+            crate::suggest::suggest_from_in(t, program.meta.regs_per_thread, program.meta.smem_static)
+        }
+        None => suggest_from(gpu, program.meta.regs_per_thread, program.meta.smem_static),
+    };
     let rule_threads = rules::rule_based_threads(&suggestion.thread_counts, mix.intensity);
     let predicted_time = predict_time(program, geometry);
     StaticAnalysis {
         kernel_name: program.name.clone(),
-        gpu,
+        gpu: gpu.clone(),
         geometry,
         mix,
         occupancy,

@@ -44,7 +44,7 @@ pub mod suggest;
 
 mod analyzer;
 
-pub use analyzer::{analyze, analyze_disassembly, StaticAnalysis};
+pub use analyzer::{analyze, analyze_disassembly, analyze_in, StaticAnalysis};
 pub use divergence::{DivergenceFinding, DivergenceReport};
 pub use mix::MixReport;
 pub use occupancy::OccupancyAnalysis;

@@ -15,7 +15,7 @@
 //!   see DESIGN.md §1 on why the paper's own Table VII mixes quantized
 //!   and unquantized values).
 
-use oriole_arch::{occupancy, GpuSpec, OccupancyInput};
+use oriole_arch::{occupancy, GpuSpec, Occupancy, OccupancyInput, OccupancyTable};
 use oriole_codegen::CompiledKernel;
 
 /// The analyzer's Table VII row for one kernel/GPU pair.
@@ -38,11 +38,24 @@ pub struct Suggestion {
 /// Block sizes (warp multiples up to the device limit) whose warp count
 /// alone permits full occupancy — the `T*` candidate set.
 pub fn full_occupancy_block_sizes(spec: &GpuSpec) -> Vec<u32> {
+    full_occupancy_block_sizes_via(spec, &|input| occupancy(spec, input))
+}
+
+/// [`full_occupancy_block_sizes`] probing a device [`OccupancyTable`]
+/// instead of recomputing (the probes repeat per kernel and per report).
+pub fn full_occupancy_block_sizes_in(table: &OccupancyTable) -> Vec<u32> {
+    full_occupancy_block_sizes_via(table.spec(), &|input| table.lookup(input))
+}
+
+fn full_occupancy_block_sizes_via(
+    spec: &GpuSpec,
+    occ_of: &dyn Fn(OccupancyInput) -> Occupancy,
+) -> Vec<u32> {
     let mut out = Vec::new();
     let step = spec.warp_size;
     let mut tc = step;
     while tc <= spec.threads_per_block {
-        let o = occupancy(spec, OccupancyInput::of_block(tc));
+        let o = occ_of(OccupancyInput::of_block(tc));
         if o.occupancy == 1.0 {
             out.push(tc);
         }
@@ -53,28 +66,43 @@ pub fn full_occupancy_block_sizes(spec: &GpuSpec) -> Vec<u32> {
 
 /// Computes the Table VII suggestion for a compiled kernel.
 pub fn suggest(kernel: &CompiledKernel) -> Suggestion {
-    suggest_from(kernel.gpu, kernel.regs_per_thread(), kernel.smem_per_block)
+    suggest_from(&kernel.gpu, kernel.regs_per_thread(), kernel.smem_per_block)
 }
 
 /// [`suggest`] from raw resource numbers (the disassembly-header path:
 /// everything needed is in the `ptxas`-style metadata).
-pub fn suggest_from(spec: &'static GpuSpec, regs_per_thread: u32, smem: u32) -> Suggestion {
+pub fn suggest_from(spec: &GpuSpec, regs_per_thread: u32, smem: u32) -> Suggestion {
+    suggest_via(spec, &|input| occupancy(spec, input), regs_per_thread, smem)
+}
+
+/// [`suggest_from`] backed by a device [`OccupancyTable`]. The register
+/// headroom scan alone probes the calculator up to `R^cc_T` times with
+/// inputs that repeat across kernels and reports, so the memoized path
+/// pays off wherever a table (usually a model context's) is at hand.
+/// Bit-identical to [`suggest_from`].
+pub fn suggest_from_in(table: &OccupancyTable, regs_per_thread: u32, smem: u32) -> Suggestion {
+    suggest_via(table.spec(), &|input| table.lookup(input), regs_per_thread, smem)
+}
+
+fn suggest_via(
+    spec: &GpuSpec,
+    occ_of: &dyn Fn(OccupancyInput) -> Occupancy,
+    regs_per_thread: u32,
+    smem: u32,
+) -> Suggestion {
     let regs_used = regs_per_thread.max(1);
 
-    let thread_counts = full_occupancy_block_sizes(spec);
+    let thread_counts = full_occupancy_block_sizes_via(spec, occ_of);
 
     // occ*: the register-limited warp capacity ratio at the kernel's
     // actual register usage (unquantized, as Table VII reports it).
     let probe_tc = thread_counts.first().copied().unwrap_or(spec.warp_size);
-    let at_regs = occupancy(
-        spec,
-        OccupancyInput {
-            tc: probe_tc,
-            regs_per_thread: regs_used,
-            smem_per_block: smem,
-            shmem_per_mp: None,
-        },
-    );
+    let at_regs = occ_of(OccupancyInput {
+        tc: probe_tc,
+        regs_per_thread: regs_used,
+        smem_per_block: smem,
+        shmem_per_mp: None,
+    });
     let occ_star =
         f64::from(at_regs.warp_limit_by_regs.min(spec.warps_per_mp)) / f64::from(spec.warps_per_mp);
 
@@ -83,15 +111,12 @@ pub fn suggest_from(spec: &'static GpuSpec, regs_per_thread: u32, smem: u32) -> 
     let current_cap = at_regs.warp_limit_by_regs.min(spec.warps_per_mp);
     let mut max_regs = regs_used;
     for r in regs_used..=spec.regs_per_thread_max {
-        let o = occupancy(
-            spec,
-            OccupancyInput {
-                tc: probe_tc,
-                regs_per_thread: r,
-                smem_per_block: smem,
-                shmem_per_mp: None,
-            },
-        );
+        let o = occ_of(OccupancyInput {
+            tc: probe_tc,
+            regs_per_thread: r,
+            smem_per_block: smem,
+            shmem_per_mp: None,
+        });
         if o.warp_limit_by_regs.min(spec.warps_per_mp) >= current_cap {
             max_regs = r;
         } else {

@@ -33,16 +33,25 @@
 //!
 //! Absolute times are *model* times; the reproduction targets relative
 //! behaviour (which configurations win, by roughly what factor).
+//!
+//! Everything here is pure in its inputs. [`ModelContext`] ([`context`])
+//! is the device-scoped memoized form — occupancy table, dynamic-mix
+//! memo, `SimReport` cache — that evaluation layers share; the free
+//! functions stay as thin wrappers over the same implementation,
+//! property-tested bit-identical.
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod context;
 pub mod counters;
 pub mod machine;
+pub mod memo;
 pub mod noise;
 pub mod profile;
 
 pub use config::SimConfig;
+pub use context::{ModelContext, ModelStats, ProgramKey};
 pub use counters::dynamic_mix;
 pub use machine::{simulate, simulate_with, BoundKind, SimError, SimReport};
 pub use noise::{measure, measure_with, TrialProtocol, Trials};

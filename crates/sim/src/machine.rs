@@ -117,6 +117,10 @@ fn grid_items(kernel: &CompiledKernel, n: u64) -> Option<f64> {
 }
 
 /// Simulates one execution with the family-default [`SimConfig`].
+///
+/// Thin wrapper over the single model implementation also backing
+/// [`ModelContext::simulate`](crate::ModelContext::simulate); the
+/// context-backed path is bit-identical (property-tested) and memoizes.
 pub fn simulate(kernel: &CompiledKernel, n: u64) -> Result<SimReport, SimError> {
     simulate_with(kernel, n, &SimConfig::for_family(kernel.gpu.family))
 }
@@ -128,7 +132,21 @@ pub fn simulate_with(
     n: u64,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
-    let spec = kernel.gpu;
+    simulate_via(kernel, n, cfg, &|input| occupancy(&kernel.gpu, input))
+}
+
+/// The whole timing model with the occupancy calculation supplied by the
+/// caller — the direct calculator for the free functions, a device
+/// [`OccupancyTable`](oriole_arch::OccupancyTable) lookup for
+/// [`ModelContext`](crate::ModelContext). Both providers are
+/// bit-identical, so every path through here produces identical reports.
+pub(crate) fn simulate_via(
+    kernel: &CompiledKernel,
+    n: u64,
+    cfg: &SimConfig,
+    occ_of: &dyn Fn(OccupancyInput) -> Occupancy,
+) -> Result<SimReport, SimError> {
+    let spec = &kernel.gpu;
     let params = kernel.params;
 
     let occ_input = OccupancyInput {
@@ -137,7 +155,7 @@ pub fn simulate_with(
         smem_per_block: kernel.smem_per_block,
         shmem_per_mp: Some(effective_shmem_per_mp(spec.family, params.pl, spec.shmem_per_mp)),
     };
-    let occ = occupancy(spec, occ_input);
+    let occ = occ_of(occ_input);
     if occ.active_blocks == 0 {
         return Err(SimError::Infeasible { limiter: occ.limiter });
     }

@@ -1,0 +1,115 @@
+//! A sharded map of write-once values with in-flight deduplication and
+//! exact hit/miss counting — the concurrency primitive under the model
+//! context's caches and the tuner's evaluation tiers.
+//!
+//! This lives in `oriole-sim` (the lowest crate that needs it) so the
+//! layers above share one implementation; `oriole-arch`'s
+//! [`OccupancyTable`](oriole_arch::OccupancyTable) deliberately does
+//! *not* use it — its values are `Copy` results of trivial arithmetic,
+//! where recomputing on a cold race is cheaper than blocking on a cell.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shard count. A power of two comfortably above typical worker counts
+/// keeps lock contention negligible without wasting memory.
+const SHARDS: usize = 32;
+
+/// A sharded map of write-once values with in-flight deduplication:
+/// the first caller of [`ShardedOnceMap::get_or_init`] for a key
+/// computes the value while any concurrent callers for the same key
+/// block on its [`OnceLock`]; later callers clone the cached value
+/// without recomputation.
+pub struct ShardedOnceMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedOnceMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedOnceMap<K, V> {
+    /// An empty map.
+    pub fn new() -> ShardedOnceMap<K, V> {
+        ShardedOnceMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Returns the value for `key`, computing it with `init` exactly
+    /// once across all threads. `init` runs outside the shard lock, so
+    /// slow computations only block callers of the *same* key.
+    pub fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut shard = self.shards[Self::shard_of(&key)]
+                .lock()
+                .expect("memoization never poisons locks");
+            Arc::clone(shard.entry(key).or_default())
+        };
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                init()
+            })
+            .clone();
+        // Exact counting: only the caller whose closure ran counts a
+        // miss, so misses equal values computed even under racing cold
+        // lookups (a racer blocked on the cell counts as a hit).
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// `(hits, misses)` since construction; misses equal the number of
+    /// `init` closures actually run.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_in_flight_and_counts_exactly() {
+        let map: ShardedOnceMap<u32, u64> = ShardedOnceMap::new();
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0..16u32 {
+                        let v = map.get_or_init(k, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            u64::from(k) * 3
+                        });
+                        assert_eq!(v, u64::from(k) * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 16, "each key computed once");
+        let (hits, misses) = map.counters();
+        assert_eq!(misses, 16);
+        assert_eq!(hits + misses, 8 * 16);
+    }
+}

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How a single representative time is chosen from repeated trials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TrialProtocol {
     /// The paper's protocol: the fifth trial of ten (index 4).
     #[default]
@@ -91,15 +91,23 @@ pub fn measure_with(
     cfg: &SimConfig,
 ) -> Result<Trials, SimError> {
     let report = simulate_with(kernel, n, cfg)?;
+    let times_ms = noisy_trials(&report, trials, seed, cfg);
+    Ok(Trials { times_ms, report })
+}
+
+/// The seeded noise sequence around one noise-free report — shared by
+/// the free-function path above and the memoizing
+/// [`ModelContext::measure`](crate::ModelContext::measure) path, which
+/// reuses a cached report but must reproduce the exact same trials.
+pub(crate) fn noisy_trials(report: &SimReport, trials: u32, seed: u64, cfg: &SimConfig) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let times_ms = (0..trials.max(1))
+    (0..trials.max(1))
         .map(|_| {
             let eps = standard_normal(&mut rng) * cfg.noise_sigma;
             // Multiplicative noise, clamped to stay positive and bounded.
             report.time_ms * (1.0 + eps.clamp(-0.3, 0.3))
         })
-        .collect();
-    Ok(Trials { times_ms, report })
+        .collect()
 }
 
 #[cfg(test)]

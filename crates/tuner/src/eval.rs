@@ -3,25 +3,36 @@
 //! Each tuning point is compiled and run on the simulator for every
 //! input size, ten noisy trials each, with the fifth trial selected —
 //! exactly the paper's protocol. The layer is built for search-loop
-//! throughput, with three caching tiers stacked under a deterministic
+//! throughput, with the caching tiers stacked under a deterministic
 //! interface:
 //!
-//! 1. **AST cache** — `ast_builder` runs once per input size (ex14FJ's
+//! 1. **AST tier** — `ast_builder` runs once per input size (ex14FJ's
 //!    divergence fraction depends on the size), not once per
 //!    variant × size.
-//! 2. **Front-end cache** — the expensive compile front-end (unroll +
+//! 2. **Front-end tier** — the expensive compile front-end (unroll +
 //!    lower, see [`oriole_codegen::front_end`]) is keyed by
 //!    `(size, UIF, CFLAGS)`: the `TC`/`BC`/`PL`/`SC` axes don't affect
 //!    lowering, so the paper's 5,120-point space shares ten lowered
 //!    programs per input size. Each variant then pays only the cheap
 //!    param-dependent back-end ([`FrontEnd::specialize`]).
-//! 3. **Measurement memo** — a sharded hash map of
-//!    `Arc<Measurement>` with **in-flight deduplication**: concurrent
-//!    misses on one point block on a per-key [`OnceLock`] instead of
+//! 3. **Model context** — occupancy table, dynamic-mix memo and
+//!    `SimReport` cache, device-scoped ([`oriole_sim::ModelContext`]).
+//! 4. **Measurement tier** — a sharded map of `Arc<Measurement>` with
+//!    **in-flight deduplication**: concurrent misses on one point block
+//!    on a per-key [`OnceLock`](std::sync::OnceLock) instead of
 //!    recomputing, so revisits by stochastic searchers are free, cache
 //!    hits never clone the full measurement, and
 //!    [`Evaluator::unique_evaluations`] counts each point exactly once
 //!    no matter how many threads race on it.
+//!
+//! Every tier lives behind an `Arc`. A standalone evaluator
+//! ([`Evaluator::new`]) owns private tiers; an evaluator borrowed from a
+//! process-level [`ArtifactStore`](crate::ArtifactStore) shares them
+//! with every other evaluator of the same scope, so repeated sweeps
+//! (bench bins, CLI invocations, replay validation) reuse front-ends,
+//! reports and measurements instead of rebuilding the world per
+//! (kernel, GPU). Sharing never changes results: all cached values are
+//! bit-identical to what a fresh evaluator computes.
 //!
 //! [`Evaluator::evaluate_batch`] self-schedules a worker pool over a
 //! pre-sized slot vector (one atomic index counter, one write-once slot
@@ -33,15 +44,13 @@ use crate::space::SearchSpace;
 use oriole_arch::GpuSpec;
 use oriole_codegen::{front_end, CompileError, FrontEnd, TuningParams};
 use oriole_ir::KernelAst;
-use oriole_sim::{dynamic_mix, measure, TrialProtocol};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use oriole_sim::memo::ShardedOnceMap;
+use oriole_sim::{ModelContext, ModelStats, ProgramKey, TrialProtocol};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// What a search minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Objective {
     /// Sum of selected trial times over all input sizes (the paper's
     /// whole-benchmark view).
@@ -49,6 +58,35 @@ pub enum Objective {
     TotalTime,
     /// Time at the largest input size only.
     LargestSize,
+}
+
+/// The measurement protocol of one evaluator: everything besides the
+/// kernel, device and input sizes that determines a [`Measurement`].
+/// Part of the [`ArtifactStore`](crate::ArtifactStore) scope key, so
+/// evaluators only share measurements when they would compute identical
+/// ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalProtocol {
+    /// Trials per size (paper: 10).
+    pub trials: u32,
+    /// Trial-selection protocol (paper: fifth of ten).
+    pub protocol: TrialProtocol,
+    /// Base seed; per-variant seeds derive from it and the point.
+    pub base_seed: u64,
+    /// Objective definition.
+    pub objective: Objective,
+}
+
+impl Default for EvalProtocol {
+    /// The paper's §IV-A protocol.
+    fn default() -> EvalProtocol {
+        EvalProtocol {
+            trials: 10,
+            protocol: TrialProtocol::FifthOfTen,
+            base_seed: 0x0012_101e,
+            objective: Objective::TotalTime,
+        }
+    }
 }
 
 /// The evaluation record of one variant — everything Table V and Fig. 4
@@ -87,111 +125,205 @@ impl Measurement {
     }
 }
 
-/// Shard count for the memo maps. A power of two comfortably above the
-/// worker count keeps lock contention negligible without wasting memory.
-const SHARDS: usize = 32;
-
-/// A sharded map of write-once values with in-flight deduplication:
-/// the first caller of `get_or_init` for a key computes the value while
-/// any concurrent callers for the same key block on its [`OnceLock`];
-/// later callers clone the cached value without recomputation.
-struct ShardedOnceMap<K, V> {
-    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
-}
-
-impl<K: Eq + Hash, V: Clone> ShardedOnceMap<K, V> {
-    fn new() -> ShardedOnceMap<K, V> {
-        ShardedOnceMap { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
-    }
-
-    fn shard_of(key: &K) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) % SHARDS
-    }
-
-    /// Returns the value for `key`, computing it with `init` exactly
-    /// once across all threads. `init` runs outside the shard lock, so
-    /// slow computations only block callers of the *same* key.
-    fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
-        let cell = {
-            let mut shard =
-                self.shards[Self::shard_of(&key)].lock().expect("evaluation never poisons locks");
-            Arc::clone(shard.entry(key).or_default())
-        };
-        cell.get_or_init(init).clone()
-    }
+/// One cached front-end artifact plus its content-addressed model-cache
+/// key (absent when the front-end itself failed).
+pub(crate) struct FeArtifact {
+    pub(crate) fe: Result<FrontEnd, CompileError>,
+    pub(crate) key: Option<ProgramKey>,
 }
 
 /// Key of one cached compile front-end: the lowering inputs that vary
-/// inside a search (`gpu` is fixed per evaluator).
+/// inside a search (`gpu` is fixed per tier).
 type FrontEndKey = (u64, u32, oriole_codegen::CompilerFlags);
 
-/// Evaluates tuning points for one kernel × GPU × input-size set.
-pub struct Evaluator<'a> {
-    /// Builds the kernel AST for an input size (ex14FJ's divergence
-    /// fraction depends on it).
-    pub ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
-    /// Target device.
-    pub gpu: &'static GpuSpec,
-    /// Input sizes (§IV-A: five per benchmark).
-    pub sizes: &'a [u64],
-    /// Trials per size (paper: 10).
-    pub trials: u32,
-    /// Trial-selection protocol (paper: fifth of ten).
-    pub protocol: TrialProtocol,
-    /// Base seed; per-variant seeds derive from it and the point.
-    pub base_seed: u64,
-    /// Objective definition.
-    pub objective: Objective,
-    asts: ShardedOnceMap<u64, Arc<KernelAst>>,
-    front_ends: ShardedOnceMap<FrontEndKey, Arc<Result<FrontEnd, CompileError>>>,
-    cache: ShardedOnceMap<TuningParams, Arc<Measurement>>,
-    evaluations: AtomicUsize,
+/// The per-size AST cache (scope: one kernel).
+pub(crate) struct AstTier {
+    map: ShardedOnceMap<u64, Arc<KernelAst>>,
+}
+
+impl AstTier {
+    pub(crate) fn new() -> AstTier {
+        AstTier { map: ShardedOnceMap::new() }
+    }
+}
+
+/// The front-end artifact cache (scope: one kernel × device).
+pub(crate) struct FeTier {
+    map: ShardedOnceMap<FrontEndKey, Arc<FeArtifact>>,
     lowerings: AtomicUsize,
 }
 
+impl FeTier {
+    pub(crate) fn new() -> FeTier {
+        FeTier { map: ShardedOnceMap::new(), lowerings: AtomicUsize::new(0) }
+    }
+
+    pub(crate) fn lowerings(&self) -> usize {
+        self.lowerings.load(Ordering::Relaxed)
+    }
+}
+
+/// The measurement memo (scope: one kernel × device × input sizes ×
+/// [`EvalProtocol`]).
+pub(crate) struct MeasTier {
+    map: ShardedOnceMap<TuningParams, Arc<Measurement>>,
+    evaluations: AtomicUsize,
+}
+
+impl MeasTier {
+    pub(crate) fn new() -> MeasTier {
+        MeasTier { map: ShardedOnceMap::new(), evaluations: AtomicUsize::new(0) }
+    }
+
+    pub(crate) fn unique_evaluations(&self) -> usize {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+/// Cache telemetry of one evaluator (its tiers plus the model context),
+/// the numbers behind the CLI `tune --stats` report. Counters are
+/// tier-wide: for a store-backed evaluator they aggregate every sharer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Distinct tuning points measured (cache misses).
+    pub unique_evaluations: usize,
+    /// Compile front-ends (unroll + lower) actually run.
+    pub front_end_lowerings: usize,
+    /// Model-context cache counters (occupancy table, dynamic mix,
+    /// `SimReport`).
+    pub model: ModelStats,
+}
+
+/// Evaluates tuning points for one kernel × GPU × input-size set.
+pub struct Evaluator<'a> {
+    ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
+    gpu: &'a GpuSpec,
+    sizes: &'a [u64],
+    protocol: EvalProtocol,
+    ctx: Arc<ModelContext>,
+    asts: Arc<AstTier>,
+    front_ends: Arc<FeTier>,
+    cache: Arc<MeasTier>,
+    /// Present when this evaluator was borrowed from an
+    /// [`ArtifactStore`](crate::ArtifactStore): `(store, kernel key)`,
+    /// used to re-scope the measurement tier when the protocol changes.
+    provenance: Option<(crate::ArtifactStore, String)>,
+}
+
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator with the paper's measurement protocol.
+    /// Creates a standalone evaluator (private caches) with the paper's
+    /// measurement protocol. Accepts any borrowed [`GpuSpec`] —
+    /// synthetic and custom devices work without the static registry.
     pub fn new(
         ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
-        gpu: &'static GpuSpec,
+        gpu: &'a GpuSpec,
         sizes: &'a [u64],
     ) -> Evaluator<'a> {
         Evaluator {
             ast_builder,
             gpu,
             sizes,
-            trials: 10,
-            protocol: TrialProtocol::FifthOfTen,
-            base_seed: 0x0012_101e,
-            objective: Objective::TotalTime,
-            asts: ShardedOnceMap::new(),
-            front_ends: ShardedOnceMap::new(),
-            cache: ShardedOnceMap::new(),
-            evaluations: AtomicUsize::new(0),
-            lowerings: AtomicUsize::new(0),
+            protocol: EvalProtocol::default(),
+            ctx: Arc::new(ModelContext::new(gpu)),
+            asts: Arc::new(AstTier::new()),
+            front_ends: Arc::new(FeTier::new()),
+            cache: Arc::new(MeasTier::new()),
+            provenance: None,
         }
+    }
+
+    /// Assembles an evaluator over explicit tiers — the
+    /// [`ArtifactStore`](crate::ArtifactStore) constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_tiers(
+        ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
+        gpu: &'a GpuSpec,
+        sizes: &'a [u64],
+        protocol: EvalProtocol,
+        ctx: Arc<ModelContext>,
+        asts: Arc<AstTier>,
+        front_ends: Arc<FeTier>,
+        cache: Arc<MeasTier>,
+        provenance: (crate::ArtifactStore, String),
+    ) -> Evaluator<'a> {
+        Evaluator {
+            ast_builder,
+            gpu,
+            sizes,
+            protocol,
+            ctx,
+            asts,
+            front_ends,
+            cache,
+            provenance: Some(provenance),
+        }
+    }
+
+    /// Target device.
+    pub fn gpu(&self) -> &GpuSpec {
+        self.gpu
+    }
+
+    /// Input sizes (§IV-A: five per benchmark).
+    pub fn sizes(&self) -> &[u64] {
+        self.sizes
+    }
+
+    /// The measurement protocol in effect.
+    pub fn protocol(&self) -> EvalProtocol {
+        self.protocol
+    }
+
+    /// Changes the measurement protocol. The measurement tier is
+    /// re-scoped — re-fetched from the originating store, or reset for a
+    /// standalone evaluator — so measurements taken under one protocol
+    /// are never served under another; front-end and model tiers are
+    /// protocol-independent and stay.
+    pub fn set_protocol(&mut self, protocol: EvalProtocol) {
+        if protocol == self.protocol {
+            return;
+        }
+        self.protocol = protocol;
+        self.cache = match &self.provenance {
+            Some((store, kernel)) => store.meas_tier(kernel, self.gpu, self.sizes, protocol),
+            None => Arc::new(MeasTier::new()),
+        };
+    }
+
+    /// Changes only the objective (see [`Evaluator::set_protocol`]).
+    pub fn set_objective(&mut self, objective: Objective) {
+        self.set_protocol(EvalProtocol { objective, ..self.protocol });
     }
 
     /// Number of *distinct* variants evaluated so far (cache misses).
     /// Concurrent misses on one point are deduplicated, so hammering a
-    /// single point from many threads counts it once.
+    /// single point from many threads counts it once. For store-backed
+    /// evaluators the count covers every sharer of the measurement tier.
     pub fn unique_evaluations(&self) -> usize {
-        self.evaluations.load(Ordering::Relaxed)
+        self.cache.unique_evaluations()
     }
 
     /// Number of compile front-ends (unroll + lower) actually run — at
     /// most one per distinct `(size, UIF, CFLAGS)` key, however many
-    /// points are evaluated.
+    /// points are evaluated (tier-wide, like
+    /// [`Evaluator::unique_evaluations`]).
     pub fn front_end_lowerings(&self) -> usize {
-        self.lowerings.load(Ordering::Relaxed)
+        self.front_ends.lowerings.load(Ordering::Relaxed)
+    }
+
+    /// Cache telemetry: tier counters plus the model context's.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            unique_evaluations: self.unique_evaluations(),
+            front_end_lowerings: self.front_end_lowerings(),
+            model: self.ctx.stats(),
+        }
     }
 
     /// Per-variant deterministic seed.
     fn seed_for(&self, p: &TuningParams) -> u64 {
         // Simple FNV-style mix over the point's fields.
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.base_seed;
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.protocol.base_seed;
         for v in [
             u64::from(p.tc),
             u64::from(p.bc),
@@ -208,20 +340,22 @@ impl<'a> Evaluator<'a> {
 
     /// The kernel AST for input size `n` (built once per size).
     fn ast_for(&self, n: u64) -> Arc<KernelAst> {
-        self.asts.get_or_init(n, || Arc::new((self.ast_builder)(n)))
+        self.asts.map.get_or_init(n, || Arc::new((self.ast_builder)(n)))
     }
 
-    /// The cached compile front-end for `(n, uif, cflags)`.
-    fn front_end_for(&self, n: u64, params: TuningParams) -> Arc<Result<FrontEnd, CompileError>> {
-        self.front_ends.get_or_init((n, params.uif, params.cflags), || {
+    /// The cached compile front-end for `(n, uif, cflags)`, with its
+    /// content-addressed model key computed once per artifact.
+    fn front_end_for(&self, n: u64, params: TuningParams) -> Arc<FeArtifact> {
+        self.front_ends.map.get_or_init((n, params.uif, params.cflags), || {
             let ast = self.ast_for(n);
             let fe = front_end(&ast, self.gpu, params.uif, params.cflags);
             if fe.is_ok() {
                 // Rejected UIFs (`Err`) never reach unroll/lower, so
                 // they don't count as lowerings run.
-                self.lowerings.fetch_add(1, Ordering::Relaxed);
+                self.front_ends.lowerings.fetch_add(1, Ordering::Relaxed);
             }
-            Arc::new(fe)
+            let key = fe.as_ref().ok().map(ProgramKey::of_front_end);
+            Arc::new(FeArtifact { fe, key })
         })
     }
 
@@ -231,24 +365,32 @@ impl<'a> Evaluator<'a> {
         let mut regs = 0u32;
         let mut reg_instructions = 0.0;
         for &n in self.sizes {
-            let fe = self.front_end_for(n, params);
-            let kernel = match fe.as_ref() {
-                Ok(fe) => match fe.specialize(params) {
-                    Ok(k) => k,
-                    Err(_) => return Measurement::infeasible(params),
-                },
+            let artifact = self.front_end_for(n, params);
+            let (fe, key) = match (&artifact.fe, &artifact.key) {
+                (Ok(fe), Some(key)) => (fe, key),
+                _ => return Measurement::infeasible(params),
+            };
+            let kernel = match fe.specialize(params) {
+                Ok(k) => k,
                 Err(_) => return Measurement::infeasible(params),
             };
-            let trials = match measure(&kernel, n, self.trials, self.seed_for(&params) ^ n) {
+            let trials = match self.ctx.measure_keyed(
+                key,
+                &kernel,
+                n,
+                self.protocol.trials,
+                self.seed_for(&params) ^ n,
+            ) {
                 Ok(t) => t,
                 Err(_) => return Measurement::infeasible(params),
             };
-            per_size_ms.push((n, trials.selected(self.protocol)));
+            per_size_ms.push((n, trials.selected(self.protocol.protocol)));
             occupancy = trials.report.occupancy.occupancy;
             regs = kernel.regs_per_thread();
-            reg_instructions += dynamic_mix(&kernel, n).get(oriole_arch::OpClass::Regs);
+            reg_instructions +=
+                self.ctx.dynamic_mix_keyed(key, &kernel, n).get(oriole_arch::OpClass::Regs);
         }
-        let time_ms = match self.objective {
+        let time_ms = match self.protocol.objective {
             Objective::TotalTime => per_size_ms.iter().map(|(_, t)| t).sum(),
             Objective::LargestSize => per_size_ms.last().map(|(_, t)| *t).unwrap_or(f64::INFINITY),
         };
@@ -266,8 +408,8 @@ impl<'a> Evaluator<'a> {
     /// Evaluates one point (memoized; hits return a shared handle
     /// without cloning the measurement).
     pub fn evaluate(&self, params: TuningParams) -> Arc<Measurement> {
-        self.cache.get_or_init(params, || {
-            self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.cache.map.get_or_init(params, || {
+            self.cache.evaluations.fetch_add(1, Ordering::Relaxed);
             Arc::new(self.evaluate_uncached(params))
         })
     }
@@ -442,8 +584,58 @@ mod tests {
     fn largest_size_objective() {
         let sizes = [32u64, 256];
         let mut ev = evaluator(&sizes);
-        ev.objective = Objective::LargestSize;
+        ev.set_objective(Objective::LargestSize);
         let m = ev.evaluate(TuningParams::with_geometry(128, 48));
         assert_eq!(m.time_ms, m.per_size_ms[1].1);
+    }
+
+    #[test]
+    fn protocol_change_rescopes_the_measurement_tier() {
+        // Measurements taken under one objective must never be served
+        // under another.
+        let sizes = [32u64, 256];
+        let mut ev = evaluator(&sizes);
+        let p = TuningParams::with_geometry(128, 48);
+        let total = ev.evaluate(p);
+        ev.set_objective(Objective::LargestSize);
+        let largest = ev.evaluate(p);
+        assert_eq!(largest.time_ms, largest.per_size_ms[1].1);
+        assert!(largest.time_ms < total.time_ms);
+        // Per-size numbers are protocol-independent and identical.
+        assert_eq!(largest.per_size_ms, total.per_size_ms);
+    }
+
+    #[test]
+    fn evaluator_accepts_non_static_gpu_specs() {
+        // A synthetic device built at runtime: the K20 with half the
+        // register file. No static registry entry exists for it.
+        let custom = GpuSpec { regfile_per_mp: 32_768, ..Gpu::K20.spec().clone() };
+        let sizes = [64u64];
+        let builder = |n: u64| KernelId::Atax.ast(n);
+        let ev = Evaluator::new(&builder, &custom, &sizes);
+        let m = ev.evaluate(TuningParams::with_geometry(128, 48));
+        assert!(m.feasible);
+        // The halved register file must bite somewhere the stock K20
+        // doesn't: same variant, stock device, at least as much
+        // occupancy.
+        let stock = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+        let sm = stock.evaluate(TuningParams::with_geometry(128, 48));
+        assert!(m.occupancy <= sm.occupancy);
+    }
+
+    #[test]
+    fn stats_report_model_cache_activity() {
+        let sizes = [64u64];
+        let ev = evaluator(&sizes);
+        let space = SearchSpace::tiny();
+        ev.evaluate_space(&space);
+        let stats = ev.stats();
+        assert_eq!(stats.unique_evaluations, space.len());
+        assert!(stats.front_end_lowerings > 0);
+        // Every point simulates once (distinct params), so the report
+        // cache misses once per feasible point; the occupancy table
+        // collapses the domain massively.
+        assert!(stats.model.report_misses as usize <= space.len());
+        assert!(stats.model.occ_hits > stats.model.occ_misses);
     }
 }

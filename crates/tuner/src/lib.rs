@@ -9,11 +9,15 @@
 //!   paper's default 5,120-variant instantiation.
 //! * [`eval`] — variant evaluation: compile → simulate → ten noisy
 //!   trials → fifth selected (§IV-A), parallelized with scoped worker
-//!   threads behind a deterministic, order-restoring interface. Three
+//!   threads behind a deterministic, order-restoring interface. The
 //!   caching tiers (per-size ASTs, shared compile front-ends keyed by
-//!   `(size, UIF, CFLAGS)`, and a sharded measurement memo with
-//!   in-flight deduplication) make exhaustive sweeps and stochastic
-//!   revisits cheap.
+//!   `(size, UIF, CFLAGS)`, a device [`oriole_sim::ModelContext`], and
+//!   a sharded measurement memo with in-flight deduplication) make
+//!   exhaustive sweeps and stochastic revisits cheap.
+//! * [`store`] — the process-level [`ArtifactStore`] evaluators borrow
+//!   their tiers from, so repeated and overlapping sweeps (bench bins,
+//!   CLI invocations) reuse front-ends, model reports and whole
+//!   measurements across evaluators — bit-identically.
 //! * [`search`] — the search algorithms Orio ships (exhaustive, random,
 //!   simulated annealing, genetic, Nelder–Mead simplex; §III-C "Current
 //!   search algorithms in Orio include…") plus the paper's new
@@ -34,8 +38,9 @@ pub mod result;
 pub mod search;
 pub mod space;
 pub mod spec;
+pub mod store;
 
-pub use eval::{Evaluator, Measurement, Objective};
+pub use eval::{EvalProtocol, EvalStats, Evaluator, Measurement, Objective};
 pub use rank::{rank_stats, split_ranks, RankStats};
 pub use result::{
     measurement_csv_row, measurements_csv, TuningRun, MEASUREMENT_CSV_HEADER,
@@ -47,3 +52,4 @@ pub use search::{
 };
 pub use space::SearchSpace;
 pub use spec::{parse_spec, SpecError};
+pub use store::{ArtifactStore, StoreStats};

@@ -1,0 +1,322 @@
+//! Process-level artifact store: cross-evaluator reuse.
+//!
+//! The evaluation layer amortizes work *within* one [`Evaluator`] —
+//! per-size ASTs, shared front-end artifacts, a deduplicated
+//! measurement memo, a device model context. But the experiment drivers
+//! run *many* evaluators: every bench bin sweeps kernels × GPUs, the CLI
+//! builds a fresh evaluator per `tune` invocation, and replay validation
+//! re-evaluates logged points. [`ArtifactStore`] is the process-level
+//! owner those evaluators borrow their tiers from, keyed so sharing is
+//! exactly as wide as correctness allows:
+//!
+//! | tier | scope key | shared across |
+//! |------|-----------|---------------|
+//! | AST | `kernel` | devices, sizes, protocols |
+//! | front-end | `kernel × GpuSpec` (entries add `size × UIF × CFLAGS`) | sweeps, sizes, protocols |
+//! | model context | `GpuSpec` | kernels, sweeps (occupancy/mix/report caches) |
+//! | measurement | `kernel × GpuSpec × sizes × `[`EvalProtocol`] | repeated sweeps of one experiment |
+//!
+//! Together with the per-entry keys this realizes the
+//! `(kernel, gpu, size, uif, cflags)` artifact addressing: two sweeps
+//! that agree on a scope reuse each other's artifacts and, when the
+//! protocol matches, entire measurements. Every cached value is
+//! **bit-identical** to what a fresh evaluator computes (the memoized
+//! paths are property-tested against the free functions), so shared and
+//! fresh runs are indistinguishable except in wall-clock.
+//!
+//! Devices are keyed by the full [`GpuSpec`] *contents*, not registry
+//! pointers — synthetic or custom devices participate; two distinct
+//! specs never share, even with the same marketing name. Kernels are
+//! keyed by a caller-chosen name: use distinct names for distinct ASTs
+//! (the benchmark kernel names, a file path, …) — two *different*
+//! builders registered under one name would alias each other's ASTs and
+//! front-ends, which is the one contract the store cannot check.
+
+use crate::eval::{AstTier, EvalProtocol, Evaluator, FeTier, MeasTier};
+use oriole_arch::GpuSpec;
+use oriole_ir::KernelAst;
+use oriole_sim::{ModelContext, ModelStats};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Scope key of a front-end tier.
+#[derive(PartialEq, Eq, Hash)]
+struct FeScope {
+    kernel: String,
+    gpu: GpuSpec,
+}
+
+/// Scope key of a measurement tier.
+#[derive(PartialEq, Eq, Hash)]
+struct MeasScope {
+    kernel: String,
+    gpu: GpuSpec,
+    sizes: Vec<u64>,
+    protocol: EvalProtocol,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    asts: Mutex<HashMap<String, Arc<AstTier>>>,
+    front_ends: Mutex<HashMap<FeScope, Arc<FeTier>>>,
+    measurements: Mutex<HashMap<MeasScope, Arc<MeasTier>>>,
+    contexts: Mutex<HashMap<GpuSpec, Arc<ModelContext>>>,
+}
+
+/// Aggregate telemetry of a store: tier counts and summed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Kernels with an AST tier.
+    pub kernels: usize,
+    /// `(kernel, gpu)` front-end tiers.
+    pub front_end_tiers: usize,
+    /// Front-end lowerings run across all tiers.
+    pub front_end_lowerings: usize,
+    /// Measurement tiers (distinct experiment scopes).
+    pub measurement_tiers: usize,
+    /// Distinct points measured across all tiers.
+    pub unique_evaluations: usize,
+    /// Device model contexts.
+    pub contexts: usize,
+    /// Model cache counters summed over all contexts.
+    pub model: ModelStats,
+}
+
+/// Process-level artifact store; see the [module docs](self).
+///
+/// Cheap to clone (a shared handle); all methods take `&self` and are
+/// thread-safe, so one store can back concurrent sweeps.
+#[derive(Clone, Default)]
+pub struct ArtifactStore {
+    inner: Arc<StoreInner>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// The shared model context for a device (created on first use).
+    pub fn context(&self, gpu: &GpuSpec) -> Arc<ModelContext> {
+        let mut map = self.inner.contexts.lock().expect("store lock");
+        Arc::clone(
+            map.entry(gpu.clone()).or_insert_with(|| Arc::new(ModelContext::new(gpu))),
+        )
+    }
+
+    fn ast_tier(&self, kernel: &str) -> Arc<AstTier> {
+        let mut map = self.inner.asts.lock().expect("store lock");
+        Arc::clone(map.entry(kernel.to_string()).or_insert_with(|| Arc::new(AstTier::new())))
+    }
+
+    fn fe_tier(&self, kernel: &str, gpu: &GpuSpec) -> Arc<FeTier> {
+        let mut map = self.inner.front_ends.lock().expect("store lock");
+        Arc::clone(
+            map.entry(FeScope { kernel: kernel.to_string(), gpu: gpu.clone() })
+                .or_insert_with(|| Arc::new(FeTier::new())),
+        )
+    }
+
+    pub(crate) fn meas_tier(
+        &self,
+        kernel: &str,
+        gpu: &GpuSpec,
+        sizes: &[u64],
+        protocol: EvalProtocol,
+    ) -> Arc<MeasTier> {
+        let mut map = self.inner.measurements.lock().expect("store lock");
+        Arc::clone(
+            map.entry(MeasScope {
+                kernel: kernel.to_string(),
+                gpu: gpu.clone(),
+                sizes: sizes.to_vec(),
+                protocol,
+            })
+            .or_insert_with(|| Arc::new(MeasTier::new())),
+        )
+    }
+
+    /// An evaluator borrowing this store's tiers, with the paper's
+    /// default [`EvalProtocol`]. Evaluators that agree on
+    /// `(kernel, gpu)` share ASTs, front-ends and the device model
+    /// context; those also agreeing on `(sizes, protocol)` share whole
+    /// measurements.
+    pub fn evaluator<'a>(
+        &self,
+        kernel: &str,
+        ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
+        gpu: &'a GpuSpec,
+        sizes: &'a [u64],
+    ) -> Evaluator<'a> {
+        self.evaluator_with(kernel, ast_builder, gpu, sizes, EvalProtocol::default())
+    }
+
+    /// [`ArtifactStore::evaluator`] with an explicit protocol.
+    pub fn evaluator_with<'a>(
+        &self,
+        kernel: &str,
+        ast_builder: &'a (dyn Fn(u64) -> KernelAst + Sync),
+        gpu: &'a GpuSpec,
+        sizes: &'a [u64],
+        protocol: EvalProtocol,
+    ) -> Evaluator<'a> {
+        Evaluator::from_tiers(
+            ast_builder,
+            gpu,
+            sizes,
+            protocol,
+            self.context(gpu),
+            self.ast_tier(kernel),
+            self.fe_tier(kernel, gpu),
+            self.meas_tier(kernel, gpu, sizes, protocol),
+            (self.clone(), kernel.to_string()),
+        )
+    }
+
+    /// Aggregate telemetry across every tier and context.
+    pub fn stats(&self) -> StoreStats {
+        let kernels = self.inner.asts.lock().expect("store lock").len();
+        let (front_end_tiers, front_end_lowerings) = {
+            let map = self.inner.front_ends.lock().expect("store lock");
+            (map.len(), map.values().map(|t| t.lowerings()).sum())
+        };
+        let (measurement_tiers, unique_evaluations) = {
+            let map = self.inner.measurements.lock().expect("store lock");
+            (map.len(), map.values().map(|t| t.unique_evaluations()).sum())
+        };
+        let (contexts, model) = {
+            let map = self.inner.contexts.lock().expect("store lock");
+            let mut model = ModelStats::default();
+            for ctx in map.values() {
+                let s = ctx.stats();
+                model.occ_hits += s.occ_hits;
+                model.occ_misses += s.occ_misses;
+                model.occ_entries += s.occ_entries;
+                model.mix_hits += s.mix_hits;
+                model.mix_misses += s.mix_misses;
+                model.report_hits += s.report_hits;
+                model.report_misses += s.report_misses;
+            }
+            (map.len(), model)
+        };
+        StoreStats {
+            kernels,
+            front_end_tiers,
+            front_end_lowerings,
+            measurement_tiers,
+            unique_evaluations,
+            contexts,
+            model,
+        }
+    }
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Objective;
+    use crate::space::SearchSpace;
+    use oriole_arch::Gpu;
+    use oriole_codegen::TuningParams;
+    use oriole_kernels::KernelId;
+
+    fn builder(n: u64) -> KernelAst {
+        KernelId::Atax.ast(n)
+    }
+
+    #[test]
+    fn shared_evaluators_reuse_measurements() {
+        let store = ArtifactStore::new();
+        let sizes = [64u64];
+        let space = SearchSpace::tiny();
+        let gpu = Gpu::K20.spec();
+
+        let first = store.evaluator("atax", &builder, gpu, &sizes);
+        let cold = first.evaluate_space(&space);
+        let cold_stats = store.stats();
+        assert_eq!(cold_stats.unique_evaluations, space.len());
+
+        // A second evaluator over the same scope: pure cache hits.
+        let second = store.evaluator("atax", &builder, gpu, &sizes);
+        let warm = second.evaluate_space(&space);
+        assert_eq!(warm, cold);
+        assert_eq!(store.stats().unique_evaluations, space.len());
+        assert_eq!(
+            store.stats().front_end_lowerings,
+            cold_stats.front_end_lowerings,
+            "no new lowerings on the warm sweep"
+        );
+    }
+
+    #[test]
+    fn store_matches_fresh_evaluators_bit_for_bit() {
+        let store = ArtifactStore::new();
+        let sizes = [64u64, 128];
+        let space = SearchSpace::tiny();
+        let gpu = Gpu::K20.spec();
+
+        let shared = store.evaluator("atax", &builder, gpu, &sizes);
+        let fresh = Evaluator::new(&builder, gpu, &sizes);
+        for p in space.iter() {
+            assert_eq!(shared.evaluate(p), fresh.evaluate(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn different_scopes_do_not_share_measurements() {
+        let store = ArtifactStore::new();
+        let sizes_a = [64u64];
+        let sizes_b = [64u64, 128];
+        let gpu = Gpu::K20.spec();
+        let p = TuningParams::with_geometry(128, 48);
+
+        let a = store.evaluator("atax", &builder, gpu, &sizes_a);
+        let b = store.evaluator("atax", &builder, gpu, &sizes_b);
+        let ma = a.evaluate(p);
+        let mb = b.evaluate(p);
+        assert_ne!(ma.per_size_ms.len(), mb.per_size_ms.len());
+        // But the common size produced the identical number (shared
+        // front-end and report caches under distinct measurement tiers).
+        assert_eq!(ma.per_size_ms[0], mb.per_size_ms[0]);
+        assert_eq!(store.stats().measurement_tiers, 2);
+        assert_eq!(store.stats().front_end_tiers, 1);
+    }
+
+    #[test]
+    fn protocol_scopes_measurements() {
+        let store = ArtifactStore::new();
+        let sizes = [32u64, 128];
+        let gpu = Gpu::K20.spec();
+        let p = TuningParams::with_geometry(128, 48);
+
+        let total = store.evaluator("atax", &builder, gpu, &sizes);
+        let largest = store.evaluator_with(
+            "atax",
+            &builder,
+            gpu,
+            &sizes,
+            EvalProtocol { objective: Objective::LargestSize, ..EvalProtocol::default() },
+        );
+        assert!(largest.evaluate(p).time_ms < total.evaluate(p).time_ms);
+        assert_eq!(store.stats().measurement_tiers, 2);
+    }
+
+    #[test]
+    fn contexts_are_shared_per_device_and_keyed_by_content() {
+        let store = ArtifactStore::new();
+        let a = store.context(Gpu::K20.spec());
+        let b = store.context(Gpu::K20.spec());
+        assert!(Arc::ptr_eq(&a, &b));
+        let custom = GpuSpec { regfile_per_mp: 32_768, ..Gpu::K20.spec().clone() };
+        let c = store.context(&custom);
+        assert!(!Arc::ptr_eq(&a, &c), "distinct spec contents get distinct contexts");
+        assert_eq!(store.stats().contexts, 2);
+    }
+}

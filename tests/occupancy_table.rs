@@ -1,0 +1,157 @@
+//! Exhaustive agreement of the quantized [`OccupancyTable`] with the
+//! direct occupancy calculator, for every GPU in Table I.
+//!
+//! The quantized axes are covered exhaustively: every warp bucket of the
+//! block-size axis (with off-multiple representatives), every register
+//! count up to the device cap, every shared-memory allocation granule up
+//! to the per-block limit (with off-granule representatives), and every
+//! per-SM shared-capacity value the `PL` split can produce — including
+//! the Kepler/Fermi 16 K and 48 K L1/shared splits. The two cartesian
+//! sweeps below split the domain where the calculator's arithmetic
+//! actually couples axes: registers interact with the warp bucket
+//! (Fermi's per-block rounding, Eq. 4), shared memory only meets the
+//! other limits in the Eq. 1 argmin, which multiple register levels
+//! exercise.
+
+use oriole::arch::{occupancy, Gpu, GpuSpec, OccupancyInput, OccupancyTable, ALL_GPUS};
+
+/// The per-SM shared-capacity values reachable on a device: the default
+/// (`None`) plus the explicit L1/shared splits for families that carve a
+/// 64 KiB array (both appear as `Some` through the simulator).
+fn splits(spec: &GpuSpec) -> Vec<Option<u32>> {
+    use oriole::arch::Family;
+    match spec.family {
+        Family::Fermi | Family::Kepler => {
+            vec![None, Some(16 * 1024), Some(48 * 1024)]
+        }
+        Family::Maxwell | Family::Pascal => vec![None, Some(spec.shmem_per_mp)],
+    }
+}
+
+/// Shared-memory allocation granularity (mirrors the calculator's
+/// family rule; asserted against behavior in the sweep itself).
+fn smem_unit(spec: &GpuSpec) -> u32 {
+    match spec.family {
+        oriole::arch::Family::Fermi => 128,
+        _ => 256,
+    }
+}
+
+fn check(table: &OccupancyTable, spec: &GpuSpec, input: OccupancyInput) {
+    assert_eq!(
+        table.lookup(input),
+        occupancy(spec, input),
+        "{}: {input:?}",
+        spec.name
+    );
+}
+
+#[test]
+fn full_register_by_warp_domain_agrees() {
+    // Every (tc bucket × register count × split), with the shared-memory
+    // axis at four levels spanning unconstrained → near-limit. Block
+    // sizes probe each warp bucket at its low edge, interior and
+    // multiple (1 + (w-1)·32, w·32−1 for w > 1, and w·32).
+    for gpu in ALL_GPUS {
+        let spec = gpu.spec();
+        let table = OccupancyTable::new(spec);
+        let smem_levels = [0u32, 1024, 24 * 1024, spec.shmem_per_block];
+        for split in splits(spec) {
+            for w in 1..=(spec.threads_per_block / 32) {
+                let tcs = [32 * w, 32 * w - 31, (32 * w).saturating_sub(1).max(1)];
+                for tc in tcs {
+                    for regs in 0..=spec.regs_per_thread_max {
+                        for smem in smem_levels {
+                            check(
+                                &table,
+                                spec,
+                                OccupancyInput {
+                                    tc,
+                                    regs_per_thread: regs,
+                                    smem_per_block: smem,
+                                    shmem_per_mp: split,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_shared_memory_domain_agrees() {
+    // Every shared-memory granule up to the per-block limit, at every
+    // warp bucket and split, with register levels spanning
+    // unconstrained, moderate and register-limited. Each granule is
+    // probed at its exact multiple and one byte below (the rounding
+    // edge), plus one byte above the final granule (illegal).
+    for gpu in ALL_GPUS {
+        let spec = gpu.spec();
+        let table = OccupancyTable::new(spec);
+        let unit = smem_unit(spec);
+        let reg_levels = [0u32, 24, spec.regs_per_thread_max];
+        for split in splits(spec) {
+            for w in 1..=(spec.threads_per_block / 32) {
+                let tc = 32 * w;
+                for g in 0..=(spec.shmem_per_block / unit) {
+                    let edge = g * unit;
+                    for smem in [edge, edge.saturating_sub(1)] {
+                        for regs in reg_levels {
+                            check(
+                                &table,
+                                spec,
+                                OccupancyInput {
+                                    tc,
+                                    regs_per_thread: regs,
+                                    smem_per_block: smem,
+                                    shmem_per_mp: split,
+                                },
+                            );
+                        }
+                    }
+                }
+                // One past the limit: illegal, bypasses the table.
+                check(
+                    &table,
+                    spec,
+                    OccupancyInput {
+                        tc,
+                        regs_per_thread: 0,
+                        smem_per_block: spec.shmem_per_block + 1,
+                        shmem_per_mp: split,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kepler_l1_split_cases_agree_and_change_results() {
+    // The satellite case called out explicitly: the Kepler (and Fermi)
+    // L1/shared split must flow through the table both correctly and
+    // *meaningfully* — PreferL1 (16 K shared) caps block residency for
+    // tile users where PreferShared (48 K) does not.
+    for gpu in [Gpu::K20, Gpu::M2050] {
+        let spec = gpu.spec();
+        let table = OccupancyTable::new(spec);
+        let tile = OccupancyInput {
+            tc: 256,
+            regs_per_thread: 24,
+            smem_per_block: 12 * 1024,
+            shmem_per_mp: None,
+        };
+        let prefer_l1 = OccupancyInput { shmem_per_mp: Some(16 * 1024), ..tile };
+        let prefer_shared = OccupancyInput { shmem_per_mp: Some(48 * 1024), ..tile };
+        for input in [tile, prefer_l1, prefer_shared] {
+            check(&table, spec, input);
+        }
+        assert!(
+            table.lookup(prefer_l1).active_blocks < table.lookup(prefer_shared).active_blocks,
+            "{}: the split must bite for 12 KiB tiles",
+            spec.name
+        );
+    }
+}

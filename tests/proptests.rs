@@ -236,4 +236,97 @@ proptest! {
             prop_assert!(o.active_blocks <= gpu.spec().blocks_per_mp);
         }
     }
+
+    #[test]
+    fn occupancy_table_matches_direct_calculator(
+        tc in 0u32..=2048,
+        regs in 0u32..=300,
+        smem in 0u32..=50_000,
+        split in prop_oneof![
+            Just(None),
+            Just(Some(16 * 1024u32)),
+            Just(Some(48 * 1024u32)),
+        ],
+    ) {
+        // The quantized table must be bit-identical to the direct
+        // calculator over the whole input domain, legal or not,
+        // including the Fermi/Kepler L1-split values.
+        use oriole::arch::{occupancy, OccupancyInput, OccupancyTable};
+        for gpu in oriole::arch::ALL_GPUS {
+            let table = OccupancyTable::new(gpu.spec());
+            let input = OccupancyInput {
+                tc,
+                regs_per_thread: regs,
+                smem_per_block: smem,
+                shmem_per_mp: split,
+            };
+            prop_assert_eq!(table.lookup(input), occupancy(gpu.spec(), input));
+        }
+    }
+
+    #[test]
+    fn model_context_matches_free_functions(
+        ast in arb_kernel(),
+        tc_i in 1u32..=16,
+        uif in 1u32..=5,
+        fast in any::<bool>(),
+        n in prop_oneof![Just(8u64), Just(64), Just(512)],
+        seed in any::<u64>(),
+    ) {
+        // The ISSUE's compatibility invariant: `simulate`, `measure` and
+        // `dynamic_mix` stay thin wrappers producing bit-identical
+        // results to the memoized, context-backed paths — cold AND warm
+        // (a cached report must replay exactly).
+        use oriole::codegen::CompilerFlags;
+        use oriole::sim::ModelContext;
+        let gpu = Gpu::K20.spec();
+        let params = TuningParams {
+            tc: tc_i * 64,
+            bc: 48,
+            uif,
+            pl: oriole::codegen::PreferredL1::Kb16,
+            sc: 1,
+            cflags: CompilerFlags { fast_math: fast },
+        };
+        if let Ok(kernel) = compile(&ast, gpu, params) {
+            let ctx = ModelContext::new(gpu);
+            for _round in 0..2 {
+                prop_assert_eq!(ctx.simulate(&kernel, n), oriole::sim::simulate(&kernel, n));
+                let free = oriole::sim::measure(&kernel, n, 10, seed);
+                prop_assert_eq!(ctx.measure(&kernel, n, 10, seed), free);
+                prop_assert_eq!(ctx.dynamic_mix(&kernel, n), oriole::sim::dynamic_mix(&kernel, n));
+            }
+        }
+    }
+
+    #[test]
+    fn table_backed_analysis_matches_direct(
+        kid in prop_oneof![
+            Just(oriole::kernels::KernelId::Atax),
+            Just(oriole::kernels::KernelId::Bicg),
+            Just(oriole::kernels::KernelId::MatVec2D),
+            Just(oriole::kernels::KernelId::Ex14Fj),
+        ],
+        tc_i in 1u32..=16,
+        n in prop_oneof![Just(32u64), Just(128)],
+    ) {
+        // `analyze_in` (occupancy table + memoized suggestion scans)
+        // must reproduce `analyze` exactly for every kernel/device.
+        use oriole::arch::OccupancyTable;
+        for gpu in oriole::arch::ALL_GPUS {
+            let kernel = compile(
+                &kid.ast(n),
+                gpu.spec(),
+                TuningParams::with_geometry(tc_i * 64, 48),
+            );
+            let Ok(kernel) = kernel else { continue };
+            let table = OccupancyTable::new(gpu.spec());
+            let direct = oriole::core::analyze(&kernel, n);
+            let via_table = oriole::core::analyze_in(&table, &kernel, n);
+            prop_assert_eq!(&via_table.occupancy, &direct.occupancy);
+            prop_assert_eq!(&via_table.suggestion, &direct.suggestion);
+            prop_assert_eq!(&via_table.rule_threads, &direct.rule_threads);
+            prop_assert_eq!(via_table.predicted_time, direct.predicted_time);
+        }
+    }
 }
