@@ -9,7 +9,7 @@
 
 use oriole_bench::{ExpOptions, TextTable};
 use oriole_codegen::compile;
-use oriole_core::predict::{predict_time, PredictedSeries};
+use oriole_core::predict::{predict_time_with, PredictedSeries};
 use oriole_sim::{measure, TrialProtocol};
 
 fn main() {
@@ -22,12 +22,15 @@ fn main() {
         // Middle input size, as a representative workload.
         let n = kid.input_sizes()[2];
         for gpu in opts.gpus() {
+            // One Table II column for the whole sweep.
+            let throughput = gpu.spec().throughput();
             let mut pairs = Vec::new();
             for params in space.iter() {
                 let Ok(kernel) = compile(&kid.ast(n), gpu.spec(), params) else {
                     continue;
                 };
-                let predicted = predict_time(&kernel.program, kernel.geometry(n));
+                let predicted =
+                    predict_time_with(throughput, &kernel.program, kernel.geometry(n));
                 let Ok(trials) = measure(&kernel, n, 10, 0xF16_5EED) else {
                     continue;
                 };

@@ -5,11 +5,12 @@
 use crate::args::Args;
 use oriole_arch::{Gpu, ALL_GPUS};
 use oriole_codegen::{compile, CompilerFlags, PreferredL1, TuningParams};
-use oriole_core::{analyze_in, predict_time, report, suggest};
+use oriole_core::predict::predict_time_with;
+use oriole_core::{analyze_in, report, suggest};
 use oriole_kernels::KernelId;
-use oriole_sim::TrialProtocol;
+use oriole_sim::{ModelId, TrialProtocol};
 use oriole_tuner::{
-    measurements_csv, parse_spec, replay, AnnealingSearch, ArtifactStore, EvalStats,
+    measurements_csv, parse_spec, replay, AnnealingSearch, ArtifactStore, EvalProtocol, EvalStats,
     ExhaustiveSearch, GeneticSearch, HybridSearch, NelderMeadSearch, RandomSearch, SearchSpace,
     Searcher, StaticSearch,
 };
@@ -34,6 +35,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(usage()),
         "gpus" => cmd_gpus(),
+        "models" => cmd_models(),
         "analyze" => cmd_analyze(&args),
         "occupancy" => cmd_occupancy(&args),
         "suggest" => cmd_suggest(&args),
@@ -50,6 +52,7 @@ oriole — autotuning GPU kernels via static and predictive analysis
 
 commands:
   gpus                                   list the Table I GPU database
+  models                                 list the timing-model backends
   analyze   --kernel K --gpu G --n N     full static analysis report
   occupancy --gpu G --tc T [--regs R --smem S]
                                          occupancy-calculator panels
@@ -63,9 +66,13 @@ commands:
                                          hybrid [--dial 0.05])
 
 common variant flags: --tc --bc --uif --pl --sc --fast-math
+model flag (tune/simulate/analyze): --model {sim,static,roofline}
+            select the timing backend (default sim; static reports Eq. 6
+            model units, not ms — see `models`)
 tune flags: --budget B --sizes 32,64,... --spec FILE --seed N --csv
-            --stats (print cache telemetry: unique evaluations,
-            lowerings, occupancy/mix/report hit rates)
+            --stats (print cache telemetry: active timing model, unique
+            evaluations, lowerings, occupancy/mix/report hit rates —
+            per backend, since caches never cross models)
 "
     .to_string()
 }
@@ -79,6 +86,14 @@ fn parse_kernel(args: &Args) -> Result<KernelId, String> {
     let name = args.required("kernel")?;
     KernelId::parse(name)
         .ok_or_else(|| format!("unknown kernel `{name}` (try atax/bicg/ex14fj/matvec2d)"))
+}
+
+fn parse_model(args: &Args) -> Result<ModelId, String> {
+    match args.optional("model") {
+        None => Ok(ModelId::default()),
+        Some(name) => ModelId::parse(name)
+            .ok_or_else(|| format!("unknown model `{name}` (try sim/static/roofline)")),
+    }
 }
 
 fn parse_params(args: &Args) -> Result<TuningParams, String> {
@@ -119,14 +134,40 @@ fn cmd_gpus() -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_models() -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "timing-model backends (--model <name> on tune/simulate/analyze):");
+    for id in ModelId::ALL {
+        let marker = if id == ModelId::default() { "*" } else { " " };
+        let _ = writeln!(out, " {marker} {:<9} {}", id.name(), id.describe());
+    }
+    let _ = writeln!(out, "(* = default; all backends share one launch-feasibility gate)");
+    Ok(out)
+}
+
 fn cmd_analyze(args: &Args) -> Result<String, String> {
     let gpu = parse_gpu(args)?;
     let kernel_id = parse_kernel(args)?;
     let n: u64 = args.num_or("n", 128)?;
     let params = parse_params(args)?;
+    let model = parse_model(args)?;
     let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
-    let analysis = analyze_in(store().context(gpu.spec()).occupancy_table(), &kernel, n);
-    Ok(analysis.render())
+    let ctx = store().context_for(gpu.spec(), model);
+    let analysis = analyze_in(ctx.occupancy_table(), &kernel, n);
+    let mut out = analysis.render();
+    match ctx.simulate(&kernel, n) {
+        Ok(r) => {
+            let _ = writeln!(
+                out,
+                "timing model {model}: estimated cost {:.4} ({} bound)",
+                r.time_ms, r.bound
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "timing model {model}: {e}");
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_occupancy(args: &Args) -> Result<String, String> {
@@ -165,14 +206,16 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
     let trials: u32 = args.num_or("trials", 10)?;
     let seed: u64 = args.num_or("seed", 42)?;
     let params = parse_params(args)?;
+    let model = parse_model(args)?;
     let kernel = compile(&kernel_id.ast(n), gpu.spec(), params).map_err(|e| e.to_string())?;
-    // The shared context caches the report: repeated simulate/tune calls
-    // in one process re-use it (bit-identical to the free functions).
-    let ctx = store().context(gpu.spec());
+    // The shared per-(device, model) context caches the report: repeated
+    // simulate/tune calls in one process re-use it (bit-identical to the
+    // free functions under the default backend).
+    let ctx = store().context_for(gpu.spec(), model);
     let r = ctx.simulate(&kernel, n).map_err(|e| e.to_string())?;
     let t = ctx.measure(&kernel, n, trials, seed).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "{kernel_id} on {gpu} at N={n} with {params}");
+    let _ = writeln!(out, "{kernel_id} on {gpu} at N={n} with {params} (model {model})");
     let _ = writeln!(
         out,
         "model time {:.4} ms ({} bound); occupancy {:.2} ({} blocks/SM, {} busy SMs, {} waves)",
@@ -201,6 +244,7 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     let kernel_id = parse_kernel(args)?;
     let sizes = args.u64_list_or("sizes", &kernel_id.input_sizes())?;
     let seed: u64 = args.num_or("seed", 42)?;
+    let model = parse_model(args)?;
     let strategy = args.required("strategy")?.to_string();
 
     let space = match args.optional("spec") {
@@ -218,7 +262,9 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     let budget: usize = args.num_or("budget", default_budget)?;
 
     let builder = move |n: u64| kernel_id.ast(n);
-    let evaluator = store().evaluator(kernel_id.name(), &builder, gpu.spec(), &sizes);
+    let protocol = EvalProtocol { model, ..EvalProtocol::default() };
+    let evaluator =
+        store().evaluator_with(kernel_id.name(), &builder, gpu.spec(), &sizes, protocol);
     let stats_before = evaluator.stats();
 
     let run = |searcher: &mut dyn Searcher| searcher.search(&space, &evaluator, budget);
@@ -239,7 +285,7 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
             )
             .map_err(|e| e.to_string())?;
             let analysis =
-                analyze_in(store().context(gpu.spec()).occupancy_table(), &probe, n_probe);
+                analyze_in(store().context_for(gpu.spec(), model).occupancy_table(), &probe, n_probe);
             let level = if strategy == "static" {
                 oriole_tuner::search::PruneLevel::Static
             } else {
@@ -265,10 +311,12 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
         "hybrid" => {
             let dial: f64 = args.num_or("dial", 0.05)?;
             let n_probe = sizes[sizes.len() / 2];
+            // One Eq. 6 table for the whole prediction sweep.
+            let table = gpu.spec().throughput();
             let predictor = move |p: oriole_codegen::TuningParams| {
                 compile(&kernel_id.ast(n_probe), gpu.spec(), p)
                     .ok()
-                    .map(|k| predict_time(&k.program, k.geometry(n_probe)))
+                    .map(|k| predict_time_with(table, &k.program, k.geometry(n_probe)))
             };
             let mut s = HybridSearch::new(predictor, dial);
             let result = s.search(&space, &evaluator, budget);
@@ -291,7 +339,10 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "{kernel_id} on {gpu}, sizes {sizes:?}, strategy {strategy}");
+    let _ = writeln!(
+        out,
+        "{kernel_id} on {gpu}, sizes {sizes:?}, strategy {strategy}, model {model}"
+    );
     out.push_str(&extra);
     // "unique" is this invocation's contribution: the process-level
     // store carries tiers across runs, so the raw tier counter could
@@ -318,7 +369,10 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
 /// Renders the `--stats` cache-telemetry block: what this run added on
 /// top of whatever the process-level store already held, plus the model
 /// context's hit rates — the observable form of the speedups the bench
-/// harness measures.
+/// harness measures. The model counters are per backend by
+/// construction: a context serves exactly one [`ModelId`], and the
+/// store never lets backends share report caches or measurement tiers,
+/// so the rates below always describe the named model alone.
 fn render_stats(before: EvalStats, after: EvalStats) -> String {
     let rate = |hits: u64, misses: u64| -> String {
         let total = hits + misses;
@@ -344,6 +398,7 @@ fn render_stats(before: EvalStats, after: EvalStats) -> String {
     );
     let m = after.model;
     let b = before.model;
+    let _ = writeln!(out, "  timing model: {} (all rates below are this backend's)", m.model);
     let _ = writeln!(
         out,
         "  occupancy table: {} entries, hit rate {}",
@@ -357,7 +412,7 @@ fn render_stats(before: EvalStats, after: EvalStats) -> String {
     );
     let _ = writeln!(
         out,
-        "  sim-report cache: hit rate {}",
+        "  model-report cache: hit rate {}",
         rate(m.report_hits - b.report_hits, m.report_misses - b.report_misses)
     );
     out
@@ -435,12 +490,61 @@ mod tests {
             "cache stats",
             "unique evaluations:",
             "front-end lowerings:",
+            "timing model: sim",
             "occupancy table:",
             "dynamic-mix memo:",
-            "sim-report cache:",
+            "model-report cache:",
         ] {
             assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
         }
+    }
+
+    #[test]
+    fn models_lists_all_backends() {
+        let out = call("models").unwrap();
+        for name in ["sim", "static", "roofline"] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("default"));
+    }
+
+    #[test]
+    fn simulate_and_analyze_accept_model_flag() {
+        let sim = call("simulate --kernel atax --gpu k20 --n 64 --model sim").unwrap();
+        let roof = call("simulate --kernel atax --gpu k20 --n 64 --model roofline").unwrap();
+        assert!(sim.contains("(model sim)"), "{sim}");
+        assert!(roof.contains("(model roofline)"), "{roof}");
+        let time_of = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("model time"))
+                .and_then(|l| l.split_whitespace().nth(2).map(str::to_string))
+                .unwrap()
+        };
+        assert_ne!(time_of(&sim), time_of(&roof), "backends produce distinct estimates");
+
+        let analyzed = call("analyze --kernel atax --gpu k20 --n 64 --model static").unwrap();
+        assert!(analyzed.contains("timing model static"), "{analyzed}");
+    }
+
+    #[test]
+    fn tune_runs_under_every_backend() {
+        for model in ["sim", "static", "roofline"] {
+            let out = call(&format!(
+                "tune --kernel atax --gpu k20 --strategy random --budget 6 --sizes 32 \
+                 --model {model} --stats"
+            ))
+            .unwrap();
+            assert!(out.contains("best:"), "{out}");
+            assert!(out.contains(&format!("model {model}")), "{out}");
+            assert!(out.contains(&format!("timing model: {model}")), "{out}");
+        }
+    }
+
+    #[test]
+    fn unknown_model_errors_cleanly() {
+        let err = call("simulate --kernel atax --gpu k20 --n 64 --model warp").unwrap_err();
+        assert!(err.contains("unknown model"), "{err}");
+        assert!(call("tune --kernel atax --gpu k20 --strategy random --model hw").is_err());
     }
 
     #[test]

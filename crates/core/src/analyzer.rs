@@ -5,7 +5,7 @@ use crate::divergence::{analyze_divergence, DivergenceReport};
 use crate::mix::MixReport;
 use crate::occupancy::OccupancyAnalysis;
 use crate::pipeline::PipelineUtilization;
-use crate::predict::predict_time;
+use crate::predict::predict_time_with;
 use crate::rules;
 use crate::suggest::{suggest_from, Suggestion};
 use oriole_arch::{GpuSpec, OccupancyInput, OccupancyTable, ThroughputTable};
@@ -107,10 +107,11 @@ fn analyze_program(
         Some(t) => OccupancyAnalysis::compute_in(t, occ_input),
         None => OccupancyAnalysis::compute(gpu, occ_input),
     };
-    let pipeline = PipelineUtilization::compute(
-        &mix.expected_counts,
-        ThroughputTable::for_family(gpu.family),
-    );
+    // One Table II column serves both the pipeline estimate and the
+    // Eq. 6 prediction; the program's family always matches the GPU's
+    // (`analyze_disassembly` rejects mismatches up front).
+    let throughput = ThroughputTable::for_family(gpu.family);
+    let pipeline = PipelineUtilization::compute(&mix.expected_counts, throughput);
     let divergence = analyze_divergence(program, geometry);
     let suggestion = match table {
         Some(t) => {
@@ -119,7 +120,7 @@ fn analyze_program(
         None => suggest_from(gpu, program.meta.regs_per_thread, program.meta.smem_static),
     };
     let rule_threads = rules::rule_based_threads(&suggestion.thread_counts, mix.intensity);
-    let predicted_time = predict_time(program, geometry);
+    let predicted_time = predict_time_with(throughput, program, geometry);
     StaticAnalysis {
         kernel_name: program.name.clone(),
         gpu: gpu.clone(),

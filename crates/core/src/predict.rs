@@ -11,14 +11,38 @@
 //! simulator, keeping the prediction honestly static. Output is in
 //! arbitrary model units — Fig. 5 normalizes both predictions and
 //! measurements before comparing, and so do we ([`normalize`], [`mae`]).
+//!
+//! Eq. 6 is also available as a pluggable timing backend: the
+//! `StaticPredictModel` in `oriole_sim::model` wraps
+//! [`predict_time_with`] behind the `TimingModel` trait, so the CLI's
+//! `--model static` (on `tune`/`simulate`/`analyze`) and the
+//! `model_agreement` experiment bin run this predictor through the same
+//! memoized, content-addressed evaluation stack as the simulator.
+//! [`predict_time_with`] takes the Table II column explicitly — for
+//! callers that already hold the device's table (the analyzer resolves
+//! one for its pipeline estimate, model contexts own their device), and
+//! as the injection point for non-family tables (measured or synthetic
+//! columns) later. [`predict_time`] is the convenience form that
+//! resolves the column from the program's family — a cheap static
+//! lookup, so pick whichever reads better at the call site.
 
 use oriole_arch::{InstrClass, ThroughputTable};
 use oriole_ir::{count, LaunchGeometry, Program};
 
 /// Eq. 6: predicted execution cost of one kernel launch at geometry
 /// `geom`, from the *static* (trip-count-weighted) per-thread mix.
+///
+/// Thin wrapper over [`predict_time_with`] with the Table II column
+/// resolved from the program's family.
 pub fn predict_time(program: &Program, geom: LaunchGeometry) -> f64 {
-    let table = ThroughputTable::for_family(program.meta.family);
+    predict_time_with(ThroughputTable::for_family(program.meta.family), program, geom)
+}
+
+/// [`predict_time`] with an explicit Table II column — for callers
+/// that already hold one (the analyzer, the `StaticPredictModel`
+/// backend) and for injecting non-family tables. Bit-identical to
+/// [`predict_time`] when `table` matches the program's family.
+pub fn predict_time_with(table: &ThroughputTable, program: &Program, geom: LaunchGeometry) -> f64 {
     let classes = count::expected_mix(program, geom).classes();
     let cf = table.class_cpi(InstrClass::Flops);
     let cm = table.class_cpi(InstrClass::Mem);
@@ -127,6 +151,24 @@ mod tests {
         let small = predict(KernelId::Atax, 64, 128);
         let large = predict(KernelId::Atax, 256, 128);
         assert!(large > small * 3.0, "{large} vs {small}");
+    }
+
+    #[test]
+    fn hoisted_table_is_bit_identical() {
+        // The sweep-loop variant with a caller-resolved table must be the
+        // same computation as the per-call convenience wrapper.
+        let kernel = compile(
+            &KernelId::Bicg.ast(128),
+            Gpu::K20.spec(),
+            TuningParams::with_geometry(256, 48),
+        )
+        .unwrap();
+        let geom = kernel.geometry(128);
+        let table = oriole_arch::ThroughputTable::for_family(kernel.program.meta.family);
+        assert_eq!(
+            predict_time_with(table, &kernel.program, geom),
+            predict_time(&kernel.program, geom)
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Device-scoped model context: memoized simulation services.
+//! Device-scoped model context: memoized model estimation services.
 //!
 //! The free functions of this crate ([`simulate`](crate::simulate),
 //! [`measure`](crate::measure), [`dynamic_mix`](crate::dynamic_mix)) are
@@ -6,7 +6,8 @@
 //! inputs: the paper's 5,120-point space shares ten lowered programs per
 //! input size, every trial batch re-simulates the same variant, and every
 //! simulation recomputes the same occupancy point. [`ModelContext`] is
-//! the device-scoped owner of the memoized versions of those services:
+//! the per-`(device, timing model)` owner of the memoized versions of
+//! those services:
 //!
 //! * an [`OccupancyTable`] over the quantized `(warps, regs, smem,
 //!   L1-split)` domain — every simulation's occupancy lookup;
@@ -16,6 +17,18 @@
 //! * a **`SimReport` cache** keyed by `(lowered program, tuning point,
 //!   n)` — trial batches only add seeded noise around one model time, so
 //!   repeated measurements of a variant reuse its report.
+//!
+//! # Pluggable backends
+//!
+//! Which cost model fills the report cache is the context's
+//! [`TimingModel`] backend ([`model`](crate::model)): the default is
+//! the full simulator ([`SimulatorModel`](crate::SimulatorModel)), and
+//! [`ModelContext::for_model`] builds a context for any [`ModelId`]
+//! (static Eq. 6, roofline). A context serves exactly one backend —
+//! contexts for different models on one device are distinct values
+//! with distinct caches, and every layer above keys its artifacts by
+//! `(GpuSpec contents, ModelId)` so estimates can never alias across
+//! backends.
 //!
 //! # Keys and determinism
 //!
@@ -36,8 +49,9 @@
 
 use crate::config::SimConfig;
 use crate::counters;
-use crate::machine::{simulate_via, SimError, SimReport};
+use crate::machine::{SimError, SimReport};
 use crate::memo::ShardedOnceMap;
+use crate::model::{ModelEnv, ModelId, TimingModel};
 use crate::noise::{noisy_trials, Trials};
 use oriole_arch::{GpuSpec, Occupancy, OccupancyInput, OccupancyTable};
 use oriole_codegen::{CompiledKernel, FrontEnd, TuningParams};
@@ -112,9 +126,12 @@ impl ProgramKey {
 }
 
 /// Cache telemetry of one [`ModelContext`] — the numbers behind the CLI
-/// `tune --stats` report.
+/// `tune --stats` report. A context serves exactly one backend, so the
+/// hit rates are inherently per-backend; `model` names which one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ModelStats {
+    /// The backend these counters belong to.
+    pub model: ModelId,
     /// Occupancy-table hits (legal lookups served from the table).
     pub occ_hits: u64,
     /// Occupancy-table misses (direct calculations performed).
@@ -131,27 +148,48 @@ pub struct ModelStats {
     pub report_misses: u64,
 }
 
-/// Per-device memoized model services. See the [module docs](self).
+/// Per-`(device, timing model)` memoized model services. See the
+/// [module docs](self).
 pub struct ModelContext {
     spec: GpuSpec,
     cfg: SimConfig,
+    model: Box<dyn TimingModel>,
     occ: OccupancyTable,
     mixes: ShardedOnceMap<(ProgramKey, u32, u32, u64), MixCounts>,
     reports: ShardedOnceMap<(ProgramKey, TuningParams, u64), Result<SimReport, SimError>>,
 }
 
 impl ModelContext {
-    /// A context for `spec` with the family-default [`SimConfig`] — the
-    /// configuration the free functions use, so results interchange.
+    /// A context for `spec` with the family-default [`SimConfig`] and
+    /// the default simulator backend — the configuration the free
+    /// functions use, so results interchange.
     pub fn new(spec: &GpuSpec) -> ModelContext {
-        ModelContext::with_config(spec, SimConfig::for_family(spec.family))
+        ModelContext::for_model(spec, ModelId::default())
     }
 
-    /// A context with an explicit simulator configuration (ablations).
+    /// A context for `spec` running the backend `model` names, with the
+    /// family-default [`SimConfig`].
+    pub fn for_model(spec: &GpuSpec, model: ModelId) -> ModelContext {
+        ModelContext::with_model(spec, SimConfig::for_family(spec.family), model.backend())
+    }
+
+    /// A simulator-backend context with an explicit configuration
+    /// (ablations).
     pub fn with_config(spec: &GpuSpec, cfg: SimConfig) -> ModelContext {
+        ModelContext::with_model(spec, cfg, ModelId::Simulator.backend())
+    }
+
+    /// The fully explicit constructor: any configuration, any backend
+    /// (including ones defined outside this crate).
+    pub fn with_model(
+        spec: &GpuSpec,
+        cfg: SimConfig,
+        model: Box<dyn TimingModel>,
+    ) -> ModelContext {
         ModelContext {
             spec: spec.clone(),
             cfg,
+            model,
             occ: OccupancyTable::new(spec),
             mixes: ShardedOnceMap::new(),
             reports: ShardedOnceMap::new(),
@@ -161,6 +199,12 @@ impl ModelContext {
     /// The device this context serves.
     pub fn gpu(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// The identity of the timing backend filling this context's report
+    /// cache.
+    pub fn model_id(&self) -> ModelId {
+        self.model.id()
     }
 
     /// The simulator configuration in effect.
@@ -175,21 +219,24 @@ impl ModelContext {
     }
 
     /// Memoized occupancy — bit-identical to
-    /// [`oriole_arch::occupancy`] on this device.
+    /// [`oriole_arch::occupancy()`] on this device.
     pub fn occupancy(&self, input: OccupancyInput) -> Occupancy {
         self.occ.lookup(input)
     }
 
-    /// Memoized [`simulate`](crate::simulate); computes the kernel's
-    /// [`ProgramKey`] on the fly.
+    /// Memoized estimate under this context's backend — for the default
+    /// simulator backend, [`simulate`](crate::simulate) exactly.
+    /// Computes the kernel's [`ProgramKey`] on the fly.
     pub fn simulate(&self, kernel: &CompiledKernel, n: u64) -> Result<SimReport, SimError> {
         self.simulate_keyed(&ProgramKey::of_kernel(kernel), kernel, n)
     }
 
-    /// Memoized simulation with a caller-amortized key (`key` must
+    /// Memoized estimate with a caller-amortized key (`key` must
     /// identify `kernel`'s program — obtain it from
     /// [`ProgramKey::of_kernel`] or, for artifacts stamping out many
-    /// variants, [`ProgramKey::of_front_end`]).
+    /// variants, [`ProgramKey::of_front_end`]). The report cache is
+    /// private to this context, and a context serves one backend, so a
+    /// hit can never replay another model's estimate.
     pub fn simulate_keyed(
         &self,
         key: &ProgramKey,
@@ -198,14 +245,16 @@ impl ModelContext {
     ) -> Result<SimReport, SimError> {
         debug_assert_eq!(kernel.gpu, self.spec, "kernel compiled for another device");
         self.reports.get_or_init((key.clone(), kernel.params, n), || {
-            simulate_via(kernel, n, &self.cfg, &|input| self.occ.lookup(input))
+            let env = ModelEnv { spec: &self.spec, cfg: &self.cfg, occ: &self.occ };
+            self.model.estimate(&env, kernel, n)
         })
     }
 
-    /// Memoized [`measure`](crate::measure): the noise-free report comes
-    /// from the `SimReport` cache, the seeded trial noise is regenerated
-    /// per call (it is what distinguishes measurements), so results are
-    /// bit-identical to the free function.
+    /// Memoized [`measure`](crate::measure) (under the default backend;
+    /// other backends measure their own estimates): the noise-free
+    /// report comes from the report cache, the seeded trial noise is
+    /// regenerated per call (it is what distinguishes measurements), so
+    /// results are bit-identical to the free function.
     pub fn measure(
         &self,
         kernel: &CompiledKernel,
@@ -251,6 +300,7 @@ impl ModelContext {
         let (mix_hits, mix_misses) = self.mixes.counters();
         let (report_hits, report_misses) = self.reports.counters();
         ModelStats {
+            model: self.model.id(),
             occ_hits,
             occ_misses,
             occ_entries: self.occ.len(),
@@ -266,6 +316,7 @@ impl std::fmt::Debug for ModelContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelContext")
             .field("gpu", &self.spec.name)
+            .field("model", &self.model.id())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -295,6 +346,28 @@ mod tests {
         assert_eq!(ctx.simulate(&k, 128).unwrap(), simulate(&k, 128).unwrap());
         assert_eq!(ctx.measure(&k, 128, 10, 7).unwrap(), measure(&k, 128, 10, 7).unwrap());
         assert_eq!(ctx.dynamic_mix(&k, 128), dynamic_mix(&k, 128));
+    }
+
+    #[test]
+    fn backend_selection_changes_estimates_not_interfaces() {
+        let k = kernel(128, 48);
+        let mut times = Vec::new();
+        for id in crate::ModelId::ALL {
+            let ctx = ModelContext::for_model(Gpu::K20.spec(), id);
+            assert_eq!(ctx.model_id(), id);
+            assert_eq!(ctx.stats().model, id);
+            let r = ctx.simulate(&k, 128).unwrap();
+            assert!(r.time_ms > 0.0);
+            // The measurement path works for every backend (noise wraps
+            // whatever cost the model produced).
+            let t = ctx.measure(&k, 128, 10, 7).unwrap();
+            assert_eq!(t.report, r);
+            times.push(r.time_ms);
+        }
+        // Three genuinely different cost models.
+        assert_ne!(times[0], times[1]);
+        assert_ne!(times[0], times[2]);
+        assert_ne!(times[1], times[2]);
     }
 
     #[test]

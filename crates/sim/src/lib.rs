@@ -9,7 +9,7 @@
 //! paper's narrative depends on (§II-A, §III-B):
 //!
 //! * **Occupancy-limited residency** — active blocks per SM come from the
-//!   occupancy calculator ([`oriole_arch::occupancy`]), so register
+//!   occupancy calculator ([`oriole_arch::occupancy()`]), so register
 //!   pressure (UIF), shared-memory footprint (TC-scaled tiles) and the
 //!   L1/shared split (PL) all change how many warps can hide latency.
 //! * **Issue-throughput bound** — every instruction costs
@@ -35,10 +35,18 @@
 //! behaviour (which configurations win, by roughly what factor).
 //!
 //! Everything here is pure in its inputs. [`ModelContext`] ([`context`])
-//! is the device-scoped memoized form — occupancy table, dynamic-mix
-//! memo, `SimReport` cache — that evaluation layers share; the free
-//! functions stay as thin wrappers over the same implementation,
-//! property-tested bit-identical.
+//! is the per-`(device, timing model)` memoized form — occupancy table,
+//! dynamic-mix memo, `SimReport` cache — that evaluation layers share;
+//! the free functions stay as thin wrappers over the same
+//! implementation under the default backend, property-tested
+//! bit-identical.
+//!
+//! The abstract machine is one of several cost models: [`model`]
+//! defines the [`TimingModel`] seam with the default
+//! [`SimulatorModel`], the static Eq. 6 [`StaticPredictModel`] and the
+//! analytic [`RooflineModel`], all selectable per context (and, through
+//! the layers above, per evaluator and per CLI invocation via
+//! `--model`).
 
 #![warn(missing_docs)]
 
@@ -47,6 +55,7 @@ pub mod context;
 pub mod counters;
 pub mod machine;
 pub mod memo;
+pub mod model;
 pub mod noise;
 pub mod profile;
 
@@ -54,5 +63,8 @@ pub use config::SimConfig;
 pub use context::{ModelContext, ModelStats, ProgramKey};
 pub use counters::dynamic_mix;
 pub use machine::{simulate, simulate_with, BoundKind, SimError, SimReport};
+pub use model::{
+    ModelEnv, ModelId, RooflineModel, SimulatorModel, StaticPredictModel, TimingModel,
+};
 pub use noise::{measure, measure_with, TrialProtocol, Trials};
 pub use profile::WarpProfile;

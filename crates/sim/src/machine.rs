@@ -102,6 +102,23 @@ pub fn effective_shmem_per_mp(family: Family, pl: PreferredL1, default_shmem: u3
     }
 }
 
+/// The occupancy-calculator input of one compiled kernel's launch —
+/// the single feasibility gate every [`TimingModel`](crate::TimingModel)
+/// backend shares, so a configuration is infeasible under one backend
+/// iff it is infeasible under all of them.
+pub(crate) fn occ_input_of(kernel: &CompiledKernel) -> OccupancyInput {
+    OccupancyInput {
+        tc: kernel.params.tc,
+        regs_per_thread: kernel.regs_per_thread(),
+        smem_per_block: kernel.smem_per_block,
+        shmem_per_mp: Some(effective_shmem_per_mp(
+            kernel.gpu.family,
+            kernel.params.pl,
+            kernel.gpu.shmem_per_mp,
+        )),
+    }
+}
+
 /// Largest grid-stride item count in the program, i.e. how much
 /// parallelism the kernel actually exposes at problem size `n`
 /// (`None` when the kernel has no grid-stride loop).
@@ -149,13 +166,7 @@ pub(crate) fn simulate_via(
     let spec = &kernel.gpu;
     let params = kernel.params;
 
-    let occ_input = OccupancyInput {
-        tc: params.tc,
-        regs_per_thread: kernel.regs_per_thread(),
-        smem_per_block: kernel.smem_per_block,
-        shmem_per_mp: Some(effective_shmem_per_mp(spec.family, params.pl, spec.shmem_per_mp)),
-    };
-    let occ = occ_of(occ_input);
+    let occ = occ_of(occ_input_of(kernel));
     if occ.active_blocks == 0 {
         return Err(SimError::Infeasible { limiter: occ.limiter });
     }

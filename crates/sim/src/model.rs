@@ -1,0 +1,406 @@
+//! Pluggable timing-model backends: one seam, several cost models.
+//!
+//! The paper evaluates two predictors against each other — the abstract
+//! machine of [`machine`](crate::machine) ("empirical" measurements)
+//! and the static Eq. 6 CPI model — and related work adds more
+//! (hardware-counter models, wave/roofline analytics). [`TimingModel`]
+//! is the seam that lets all of them run behind the *same* memoized,
+//! content-addressed evaluation stack: a backend estimates a
+//! [`SimReport`]-shaped cost from a [`CompiledKernel`] + its launch
+//! point + the problem size `n`, and carries a stable [`ModelId`] that
+//! participates in every cache key above it (the
+//! [`ModelContext`](crate::ModelContext) report cache, the tuner's
+//! measurement tiers, the process-level artifact store), so cached
+//! artifacts can never alias across backends.
+//!
+//! Three backends ship:
+//!
+//! * [`SimulatorModel`] — the default: the full abstract machine
+//!   (issue/latency/bandwidth rooflines, work concentration,
+//!   divergence, barriers). The crate's free functions
+//!   ([`simulate`](crate::simulate), [`measure`](crate::measure)) stay
+//!   thin wrappers over exactly this backend, property-tested
+//!   bit-identical.
+//! * [`StaticPredictModel`] — Eq. 6 via
+//!   [`oriole_core::predict::predict_time_with`]: a purely static CPI ×
+//!   expected-mix dot product, no dynamic profiling. Output is in model
+//!   units, not milliseconds — rankings and Fig. 5-style normalized
+//!   series are the meaningful quantities.
+//! * [`RooflineModel`] — a classic throughput/bandwidth roofline from
+//!   the [`oriole_arch`] Table II issue rates and the DRAM bandwidth
+//!   constants, derated by achieved occupancy from the device
+//!   [`OccupancyTable`]. Unlike the simulator it models no latency
+//!   bound, work concentration, or divergence/barrier surcharges.
+//!
+//! All backends share one launch-feasibility gate
+//! ([`ModelEnv::launch_occupancy`]): a configuration with zero active
+//! blocks is [`SimError::Infeasible`] under every model, so backends
+//! disagree about *cost*, never about *launchability*.
+//!
+//! Select a backend with `ModelContext::for_model`, the tuner's
+//! `EvalProtocol::model` field, or the CLI's
+//! `--model {sim,static,roofline}`; `oriole-cli models` lists them.
+
+use crate::config::SimConfig;
+use crate::machine::{occ_input_of, simulate_via, BoundKind, SimError, SimReport};
+use crate::profile::WarpProfile;
+use oriole_arch::{GpuSpec, Occupancy, OccupancyTable};
+use oriole_codegen::CompiledKernel;
+use std::fmt;
+
+/// Stable identity of a timing-model backend.
+///
+/// Part of every cache key above the model layer (report caches,
+/// measurement tiers, artifact-store scopes), so two backends can
+/// never serve each other's cached estimates. The `Default` is the
+/// full simulator — the backend the free functions wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum ModelId {
+    /// The abstract-machine simulator (default; the paper's "empirical"
+    /// side).
+    #[default]
+    Simulator,
+    /// The static Eq. 6 CPI predictor (no dynamic profiling).
+    Static,
+    /// The analytic throughput/bandwidth roofline.
+    Roofline,
+}
+
+impl ModelId {
+    /// Every backend, in listing order (the simulator first).
+    pub const ALL: [ModelId; 3] = [ModelId::Simulator, ModelId::Static, ModelId::Roofline];
+
+    /// The canonical CLI name (`--model <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Simulator => "sim",
+            ModelId::Static => "static",
+            ModelId::Roofline => "roofline",
+        }
+    }
+
+    /// One-line description for the `models` listing.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ModelId::Simulator => {
+                "abstract-machine simulator: issue/latency/bandwidth rooflines, \
+                 work concentration, divergence (default)"
+            }
+            ModelId::Static => {
+                "Eq. 6 static CPI model over the expected instruction mix; \
+                 model units, no dynamic profiling"
+            }
+            ModelId::Roofline => {
+                "throughput/bandwidth roofline derated by achieved occupancy; \
+                 no latency or divergence modelling"
+            }
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive; accepts the canonical
+    /// names plus a few aliases).
+    pub fn parse(name: &str) -> Option<ModelId> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "sim" | "simulator" | "machine" => Some(ModelId::Simulator),
+            "static" | "eq6" | "predict" => Some(ModelId::Static),
+            "roofline" | "roof" => Some(ModelId::Roofline),
+            _ => None,
+        }
+    }
+
+    /// Constructs the backend this id names.
+    pub fn backend(self) -> Box<dyn TimingModel> {
+        match self {
+            ModelId::Simulator => Box::new(SimulatorModel),
+            ModelId::Static => Box::new(StaticPredictModel),
+            ModelId::Roofline => Box::new(RooflineModel),
+        }
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The device services an estimate runs against: the target spec, the
+/// simulator timing constants, and the context's memoized occupancy
+/// table. Backends receive it per call so they stay stateless and one
+/// [`ModelContext`](crate::ModelContext) can own any of them.
+pub struct ModelEnv<'a> {
+    /// Target device.
+    pub spec: &'a GpuSpec,
+    /// Timing constants (family defaults unless the context was built
+    /// for an ablation).
+    pub cfg: &'a SimConfig,
+    /// The context's quantized occupancy table.
+    pub occ: &'a OccupancyTable,
+}
+
+impl ModelEnv<'_> {
+    /// The launch-feasibility gate shared by every backend: the
+    /// kernel's occupancy point (memoized), or
+    /// [`SimError::Infeasible`] when zero blocks fit. Identical inputs
+    /// to the simulator's own gate, so feasibility never depends on the
+    /// selected backend.
+    pub fn launch_occupancy(&self, kernel: &CompiledKernel) -> Result<Occupancy, SimError> {
+        let occ = self.occ.lookup(occ_input_of(kernel));
+        if occ.active_blocks == 0 {
+            return Err(SimError::Infeasible { limiter: occ.limiter });
+        }
+        Ok(occ)
+    }
+}
+
+/// A cost-model backend: estimates one kernel execution.
+///
+/// Implementations must be pure in `(env, kernel, n)` — the context
+/// memoizes estimates by content-addressed program key, tuning point
+/// and size, and replays cached values verbatim.
+pub trait TimingModel: Send + Sync {
+    /// The stable identity used in cache keys and telemetry.
+    fn id(&self) -> ModelId;
+
+    /// Estimates one execution of `kernel` at problem size `n`.
+    fn estimate(
+        &self,
+        env: &ModelEnv<'_>,
+        kernel: &CompiledKernel,
+        n: u64,
+    ) -> Result<SimReport, SimError>;
+}
+
+/// The default backend: the full abstract machine of
+/// [`machine`](crate::machine), with occupancy served from the
+/// context's table. Bit-identical to the [`simulate`](crate::simulate)
+/// free function (property-tested in `tests/proptests.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatorModel;
+
+impl TimingModel for SimulatorModel {
+    fn id(&self) -> ModelId {
+        ModelId::Simulator
+    }
+
+    fn estimate(
+        &self,
+        env: &ModelEnv<'_>,
+        kernel: &CompiledKernel,
+        n: u64,
+    ) -> Result<SimReport, SimError> {
+        simulate_via(kernel, n, env.cfg, &|input| env.occ.lookup(input))
+    }
+}
+
+/// The Eq. 6 backend: wraps
+/// [`oriole_core::predict::predict_time_with`] — the paper's purely
+/// static CPI × expected-mix predictor — behind the model seam.
+///
+/// The report's `time_ms` carries the Eq. 6 cost in *model units* (the
+/// same quantity Fig. 5 normalizes), the occupancy fields come from
+/// the shared feasibility gate, and the warp profile is empty: nothing
+/// dynamic is computed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPredictModel;
+
+impl TimingModel for StaticPredictModel {
+    fn id(&self) -> ModelId {
+        ModelId::Static
+    }
+
+    fn estimate(
+        &self,
+        env: &ModelEnv<'_>,
+        kernel: &CompiledKernel,
+        n: u64,
+    ) -> Result<SimReport, SimError> {
+        let occ = env.launch_occupancy(kernel)?;
+        let table = kernel.gpu.throughput();
+        let cost =
+            oriole_core::predict::predict_time_with(table, &kernel.program, kernel.geometry(n));
+        Ok(SimReport {
+            time_ms: cost,
+            bound: BoundKind::Issue,
+            occupancy: occ,
+            busy_blocks: kernel.params.bc,
+            busy_sms: kernel.params.bc.min(env.spec.multiprocessors),
+            resident_warps: occ.active_warps,
+            waves: 1,
+            cycles: cost,
+            profile: WarpProfile::default(),
+        })
+    }
+}
+
+/// The analytic roofline backend: completion time is the larger of the
+/// device-wide issue-throughput roof and the DRAM bandwidth roof.
+///
+/// * **Issue roof** — every warp's issue work (Table II rates,
+///   including LSU replays) spread evenly over all SMs, derated by the
+///   achieved occupancy from the table: an SM running at 25% occupancy
+///   sustains a quarter of its peak issue rate.
+/// * **Bandwidth roof** — total 32-byte DRAM transactions at the
+///   family's cycles-per-transaction constant, as in the simulator.
+///
+/// Deliberately simpler than the simulator: no latency bound, no
+/// work-concentration accounting (all `BC` blocks are assumed busy),
+/// and no divergence/barrier surcharges — the `model_agreement` bin
+/// quantifies how much ranking signal that costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RooflineModel;
+
+impl TimingModel for RooflineModel {
+    fn id(&self) -> ModelId {
+        ModelId::Roofline
+    }
+
+    fn estimate(
+        &self,
+        env: &ModelEnv<'_>,
+        kernel: &CompiledKernel,
+        n: u64,
+    ) -> Result<SimReport, SimError> {
+        let occ = env.launch_occupancy(kernel)?;
+        let spec = env.spec;
+        let params = kernel.params;
+        let wb = spec.warps_per_block(params.tc);
+        let warps_total = f64::from(params.bc) * f64::from(wb);
+        let profile = WarpProfile::extract(&kernel.program, env.cfg, n, params.tc, params.bc);
+
+        let mp = spec.multiprocessors;
+        let t_issue =
+            profile.issue_cycles * warps_total / f64::from(mp) / occ.occupancy.max(f64::EPSILON);
+        let t_bw =
+            profile.dram_transactions * warps_total * env.cfg.dram_cycles_per_transaction;
+        let (cycles, bound) = if t_bw > t_issue {
+            (t_bw, BoundKind::Bandwidth)
+        } else {
+            (t_issue, BoundKind::Issue)
+        };
+
+        let clock_hz = f64::from(spec.gpu_clock_mhz) * 1e6;
+        let launch_us = env.cfg.launch_overhead_us
+            + env.cfg.stream_overhead_us * f64::from(params.sc.saturating_sub(1));
+        let slots = (occ.active_blocks * mp).max(1);
+        Ok(SimReport {
+            time_ms: cycles / clock_hz * 1e3 + launch_us / 1e3,
+            bound,
+            occupancy: occ,
+            busy_blocks: params.bc,
+            busy_sms: params.bc.min(mp),
+            resident_warps: occ.active_warps,
+            waves: params.bc.div_ceil(slots).max(1),
+            cycles,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oriole_arch::Gpu;
+    use oriole_codegen::{compile, TuningParams};
+    use oriole_kernels::KernelId;
+
+    fn kernel(tc: u32, bc: u32) -> CompiledKernel {
+        compile(
+            &KernelId::Atax.ast(256),
+            Gpu::K20.spec(),
+            TuningParams::with_geometry(tc, bc),
+        )
+        .unwrap()
+    }
+
+    fn env_parts(gpu: &'static GpuSpec) -> (SimConfig, OccupancyTable) {
+        (SimConfig::for_family(gpu.family), OccupancyTable::new(gpu))
+    }
+
+    #[test]
+    fn ids_are_stable_and_parse_round_trips() {
+        for id in ModelId::ALL {
+            assert_eq!(ModelId::parse(id.name()), Some(id));
+            assert_eq!(id.backend().id(), id);
+            assert!(!id.describe().is_empty());
+        }
+        assert_eq!(ModelId::parse("SIMULATOR"), Some(ModelId::Simulator));
+        assert_eq!(ModelId::parse("eq6"), Some(ModelId::Static));
+        assert_eq!(ModelId::parse("warp-vote"), None);
+        assert_eq!(ModelId::default(), ModelId::Simulator);
+    }
+
+    #[test]
+    fn simulator_backend_matches_free_function() {
+        let gpu = Gpu::K20.spec();
+        let (cfg, occ) = env_parts(gpu);
+        let env = ModelEnv { spec: gpu, cfg: &cfg, occ: &occ };
+        let k = kernel(128, 48);
+        assert_eq!(
+            SimulatorModel.estimate(&env, &k, 256).unwrap(),
+            crate::simulate(&k, 256).unwrap()
+        );
+    }
+
+    #[test]
+    fn static_backend_reports_eq6_cost() {
+        let gpu = Gpu::K20.spec();
+        let (cfg, occ) = env_parts(gpu);
+        let env = ModelEnv { spec: gpu, cfg: &cfg, occ: &occ };
+        let k = kernel(128, 48);
+        let r = StaticPredictModel.estimate(&env, &k, 256).unwrap();
+        let expected =
+            oriole_core::predict::predict_time(&k.program, k.geometry(256));
+        assert_eq!(r.time_ms, expected);
+        assert_eq!(r.cycles, expected);
+        assert_eq!(r.profile, WarpProfile::default());
+        assert!(r.occupancy.active_blocks > 0);
+    }
+
+    #[test]
+    fn roofline_is_bounded_and_distinct_from_simulator() {
+        let gpu = Gpu::K20.spec();
+        let (cfg, occ) = env_parts(gpu);
+        let env = ModelEnv { spec: gpu, cfg: &cfg, occ: &occ };
+        let k = kernel(128, 48);
+        let roof = RooflineModel.estimate(&env, &k, 256).unwrap();
+        let sim = SimulatorModel.estimate(&env, &k, 256).unwrap();
+        assert!(roof.time_ms.is_finite() && roof.time_ms > 0.0);
+        assert!(matches!(roof.bound, BoundKind::Issue | BoundKind::Bandwidth));
+        // The roofline drops the latency bound and the concentration /
+        // divergence surcharges — it must not reproduce the simulator.
+        assert_ne!(roof.time_ms, sim.time_ms);
+    }
+
+    #[test]
+    fn roofline_grows_with_problem_size() {
+        let gpu = Gpu::K20.spec();
+        let (cfg, occ) = env_parts(gpu);
+        let env = ModelEnv { spec: gpu, cfg: &cfg, occ: &occ };
+        let small = RooflineModel.estimate(&env, &kernel(128, 48), 64).unwrap();
+        let large = RooflineModel.estimate(&env, &kernel(128, 48), 512).unwrap();
+        assert!(large.time_ms > small.time_ms);
+    }
+
+    #[test]
+    fn feasibility_gate_is_backend_independent() {
+        // 40 KiB fixed shared memory with PreferL1 (16 KiB shared) on
+        // Kepler: zero blocks fit — every backend must refuse with the
+        // same limiter.
+        let mut ast = KernelId::MatVec2D.ast(64);
+        ast.shared[0].scales_with_block = false;
+        ast.shared[0].elems = 40 * 1024 / 4;
+        let mut params = TuningParams::with_geometry(128, 48);
+        params.pl = oriole_codegen::PreferredL1::Kb48;
+        let k = compile(&ast, Gpu::K20.spec(), params).unwrap();
+        let gpu = Gpu::K20.spec();
+        let (cfg, occ) = env_parts(gpu);
+        let env = ModelEnv { spec: gpu, cfg: &cfg, occ: &occ };
+        let errs: Vec<SimError> = ModelId::ALL
+            .iter()
+            .map(|id| id.backend().estimate(&env, &k, 64).unwrap_err())
+            .collect();
+        assert_eq!(errs[0], errs[1]);
+        assert_eq!(errs[1], errs[2]);
+    }
+}

@@ -19,7 +19,7 @@
 //!    `SimReport` cache, device-scoped ([`oriole_sim::ModelContext`]).
 //! 4. **Measurement tier** — a sharded map of `Arc<Measurement>` with
 //!    **in-flight deduplication**: concurrent misses on one point block
-//!    on a per-key [`OnceLock`](std::sync::OnceLock) instead of
+//!    on a per-key [`OnceLock`] instead of
 //!    recomputing, so revisits by stochastic searchers are free, cache
 //!    hits never clone the full measurement, and
 //!    [`Evaluator::unique_evaluations`] counts each point exactly once
@@ -45,7 +45,7 @@ use oriole_arch::GpuSpec;
 use oriole_codegen::{front_end, CompileError, FrontEnd, TuningParams};
 use oriole_ir::KernelAst;
 use oriole_sim::memo::ShardedOnceMap;
-use oriole_sim::{ModelContext, ModelStats, ProgramKey, TrialProtocol};
+use oriole_sim::{ModelContext, ModelId, ModelStats, ProgramKey, TrialProtocol};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -75,16 +75,21 @@ pub struct EvalProtocol {
     pub base_seed: u64,
     /// Objective definition.
     pub objective: Objective,
+    /// Timing-model backend measurements are estimated with. Part of
+    /// every measurement-tier scope key, so measurements taken under
+    /// one backend can never alias another's.
+    pub model: ModelId,
 }
 
 impl Default for EvalProtocol {
-    /// The paper's §IV-A protocol.
+    /// The paper's §IV-A protocol, under the default simulator backend.
     fn default() -> EvalProtocol {
         EvalProtocol {
             trials: 10,
             protocol: TrialProtocol::FifthOfTen,
             base_seed: 0x0012_101e,
             objective: Objective::TotalTime,
+            model: ModelId::default(),
         }
     }
 }
@@ -219,12 +224,13 @@ impl<'a> Evaluator<'a> {
         gpu: &'a GpuSpec,
         sizes: &'a [u64],
     ) -> Evaluator<'a> {
+        let protocol = EvalProtocol::default();
         Evaluator {
             ast_builder,
             gpu,
             sizes,
-            protocol: EvalProtocol::default(),
-            ctx: Arc::new(ModelContext::new(gpu)),
+            protocol,
+            ctx: Arc::new(ModelContext::for_model(gpu, protocol.model)),
             asts: Arc::new(AstTier::new()),
             front_ends: Arc::new(FeTier::new()),
             cache: Arc::new(MeasTier::new()),
@@ -246,6 +252,7 @@ impl<'a> Evaluator<'a> {
         cache: Arc<MeasTier>,
         provenance: (crate::ArtifactStore, String),
     ) -> Evaluator<'a> {
+        debug_assert_eq!(ctx.model_id(), protocol.model, "context serves another backend");
         Evaluator {
             ast_builder,
             gpu,
@@ -274,25 +281,50 @@ impl<'a> Evaluator<'a> {
         self.protocol
     }
 
+    /// The timing-model backend measurements are estimated with.
+    pub fn model(&self) -> ModelId {
+        self.protocol.model
+    }
+
     /// Changes the measurement protocol. The measurement tier is
     /// re-scoped — re-fetched from the originating store, or reset for a
     /// standalone evaluator — so measurements taken under one protocol
-    /// are never served under another; front-end and model tiers are
-    /// protocol-independent and stay.
+    /// are never served under another; front-end and AST tiers are
+    /// protocol-independent and stay. When the protocol's timing model
+    /// changes, the model context is re-scoped the same way (per
+    /// `(device, model)`), so report caches never cross backends.
     pub fn set_protocol(&mut self, protocol: EvalProtocol) {
         if protocol == self.protocol {
             return;
         }
+        let model_changed = protocol.model != self.protocol.model;
         self.protocol = protocol;
-        self.cache = match &self.provenance {
-            Some((store, kernel)) => store.meas_tier(kernel, self.gpu, self.sizes, protocol),
-            None => Arc::new(MeasTier::new()),
-        };
+        match &self.provenance {
+            Some((store, kernel)) => {
+                self.cache = store.meas_tier(kernel, self.gpu, self.sizes, protocol);
+                if model_changed {
+                    self.ctx = store.context_for(self.gpu, protocol.model);
+                }
+            }
+            None => {
+                self.cache = Arc::new(MeasTier::new());
+                if model_changed {
+                    self.ctx = Arc::new(ModelContext::for_model(self.gpu, protocol.model));
+                }
+            }
+        }
     }
 
     /// Changes only the objective (see [`Evaluator::set_protocol`]).
     pub fn set_objective(&mut self, objective: Objective) {
         self.set_protocol(EvalProtocol { objective, ..self.protocol });
+    }
+
+    /// Changes only the timing-model backend (see
+    /// [`Evaluator::set_protocol`]): both the measurement tier and the
+    /// model context are re-scoped.
+    pub fn set_model(&mut self, model: ModelId) {
+        self.set_protocol(EvalProtocol { model, ..self.protocol });
     }
 
     /// Number of *distinct* variants evaluated so far (cache misses).
@@ -603,6 +635,24 @@ mod tests {
         assert!(largest.time_ms < total.time_ms);
         // Per-size numbers are protocol-independent and identical.
         assert_eq!(largest.per_size_ms, total.per_size_ms);
+    }
+
+    #[test]
+    fn model_change_rescopes_context_and_measurements() {
+        let sizes = [64u64];
+        let mut ev = evaluator(&sizes);
+        let p = TuningParams::with_geometry(128, 48);
+        let sim = ev.evaluate(p);
+        ev.set_model(ModelId::Static);
+        assert_eq!(ev.model(), ModelId::Static);
+        assert_eq!(ev.stats().model.model, ModelId::Static);
+        let stat = ev.evaluate(p);
+        assert!(stat.feasible);
+        assert_ne!(sim.time_ms, stat.time_ms, "Eq. 6 model units vs simulator ms");
+        // Back to the simulator: a fresh tier under the same backend
+        // reproduces the original numbers bit-for-bit.
+        ev.set_model(ModelId::Simulator);
+        assert_eq!(ev.evaluate(p), sim);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * [`store`] — the process-level [`ArtifactStore`] evaluators borrow
 //!   their tiers from, so repeated and overlapping sweeps (bench bins,
 //!   CLI invocations) reuse front-ends, model reports and whole
-//!   measurements across evaluators — bit-identically.
+//!   measurements across evaluators — bit-identically. Model contexts
+//!   are keyed per `(GpuSpec, `[`ModelId`]`)` and measurement tiers
+//!   carry the model id through [`EvalProtocol`], so the pluggable
+//!   timing backends (simulator, static Eq. 6, roofline) share
+//!   compilation artifacts but never each other's estimates.
 //! * [`search`] — the search algorithms Orio ships (exhaustive, random,
 //!   simulated annealing, genetic, Nelder–Mead simplex; §III-C "Current
 //!   search algorithms in Orio include…") plus the paper's new
@@ -41,6 +45,9 @@ pub mod spec;
 pub mod store;
 
 pub use eval::{EvalProtocol, EvalStats, Evaluator, Measurement, Objective};
+// Re-exported for convenience: the backend selector every protocol and
+// store scope carries.
+pub use oriole_sim::ModelId;
 pub use rank::{rank_stats, split_ranks, RankStats};
 pub use result::{
     measurement_csv_row, measurements_csv, TuningRun, MEASUREMENT_CSV_HEADER,

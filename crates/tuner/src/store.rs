@@ -11,10 +11,15 @@
 //!
 //! | tier | scope key | shared across |
 //! |------|-----------|---------------|
-//! | AST | `kernel` | devices, sizes, protocols |
-//! | front-end | `kernel × GpuSpec` (entries add `size × UIF × CFLAGS`) | sweeps, sizes, protocols |
-//! | model context | `GpuSpec` | kernels, sweeps (occupancy/mix/report caches) |
-//! | measurement | `kernel × GpuSpec × sizes × `[`EvalProtocol`] | repeated sweeps of one experiment |
+//! | AST | `kernel` | devices, sizes, protocols, models |
+//! | front-end | `kernel × GpuSpec` (entries add `size × UIF × CFLAGS`) | sweeps, sizes, protocols, models |
+//! | model context | `GpuSpec × `[`ModelId`] | kernels, sweeps (occupancy/mix/report caches) |
+//! | measurement | `kernel × GpuSpec × sizes × `[`EvalProtocol`] (which carries the [`ModelId`]) | repeated sweeps of one experiment |
+//!
+//! Compilation artifacts (ASTs, front-ends) are model-independent and
+//! shared across backends; everything a timing model touches — report
+//! caches, measurements — is scoped by the model id, so two backends
+//! can never serve each other's cached estimates.
 //!
 //! Together with the per-entry keys this realizes the
 //! `(kernel, gpu, size, uif, cflags)` artifact addressing: two sweeps
@@ -35,7 +40,7 @@
 use crate::eval::{AstTier, EvalProtocol, Evaluator, FeTier, MeasTier};
 use oriole_arch::GpuSpec;
 use oriole_ir::KernelAst;
-use oriole_sim::{ModelContext, ModelStats};
+use oriole_sim::{ModelContext, ModelId, ModelStats};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -60,11 +65,11 @@ struct StoreInner {
     asts: Mutex<HashMap<String, Arc<AstTier>>>,
     front_ends: Mutex<HashMap<FeScope, Arc<FeTier>>>,
     measurements: Mutex<HashMap<MeasScope, Arc<MeasTier>>>,
-    contexts: Mutex<HashMap<GpuSpec, Arc<ModelContext>>>,
+    contexts: Mutex<HashMap<(GpuSpec, ModelId), Arc<ModelContext>>>,
 }
 
 /// Aggregate telemetry of a store: tier counts and summed counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StoreStats {
     /// Kernels with an AST tier.
     pub kernels: usize,
@@ -76,10 +81,19 @@ pub struct StoreStats {
     pub measurement_tiers: usize,
     /// Distinct points measured across all tiers.
     pub unique_evaluations: usize,
-    /// Device model contexts.
+    /// `(device, model)` contexts.
     pub contexts: usize,
-    /// Model cache counters summed over all contexts.
-    pub model: ModelStats,
+    /// Model cache counters summed *per backend* (one entry per
+    /// [`ModelId`] with at least one context, in [`ModelId::ALL`]
+    /// order) — different cost models never blur into one aggregate.
+    pub models: Vec<ModelStats>,
+}
+
+impl StoreStats {
+    /// The summed counters of one backend, if any context runs it.
+    pub fn model(&self, id: ModelId) -> Option<&ModelStats> {
+        self.models.iter().find(|m| m.model == id)
+    }
 }
 
 /// Process-level artifact store; see the [module docs](self).
@@ -97,11 +111,20 @@ impl ArtifactStore {
         ArtifactStore::default()
     }
 
-    /// The shared model context for a device (created on first use).
+    /// The shared default-backend (simulator) context for a device
+    /// (created on first use).
     pub fn context(&self, gpu: &GpuSpec) -> Arc<ModelContext> {
+        self.context_for(gpu, ModelId::default())
+    }
+
+    /// The shared context for a `(device, timing model)` pair (created
+    /// on first use). Contexts for different models never share caches,
+    /// even on one device.
+    pub fn context_for(&self, gpu: &GpuSpec, model: ModelId) -> Arc<ModelContext> {
         let mut map = self.inner.contexts.lock().expect("store lock");
         Arc::clone(
-            map.entry(gpu.clone()).or_insert_with(|| Arc::new(ModelContext::new(gpu))),
+            map.entry((gpu.clone(), model))
+                .or_insert_with(|| Arc::new(ModelContext::for_model(gpu, model))),
         )
     }
 
@@ -166,7 +189,7 @@ impl ArtifactStore {
             gpu,
             sizes,
             protocol,
-            self.context(gpu),
+            self.context_for(gpu, protocol.model),
             self.ast_tier(kernel),
             self.fe_tier(kernel, gpu),
             self.meas_tier(kernel, gpu, sizes, protocol),
@@ -185,20 +208,28 @@ impl ArtifactStore {
             let map = self.inner.measurements.lock().expect("store lock");
             (map.len(), map.values().map(|t| t.unique_evaluations()).sum())
         };
-        let (contexts, model) = {
+        let (contexts, models) = {
             let map = self.inner.contexts.lock().expect("store lock");
-            let mut model = ModelStats::default();
-            for ctx in map.values() {
-                let s = ctx.stats();
-                model.occ_hits += s.occ_hits;
-                model.occ_misses += s.occ_misses;
-                model.occ_entries += s.occ_entries;
-                model.mix_hits += s.mix_hits;
-                model.mix_misses += s.mix_misses;
-                model.report_hits += s.report_hits;
-                model.report_misses += s.report_misses;
+            let mut models: Vec<ModelStats> = Vec::new();
+            for id in ModelId::ALL {
+                let mut sum = ModelStats { model: id, ..ModelStats::default() };
+                let mut seen = false;
+                for ctx in map.values().filter(|c| c.model_id() == id) {
+                    let s = ctx.stats();
+                    seen = true;
+                    sum.occ_hits += s.occ_hits;
+                    sum.occ_misses += s.occ_misses;
+                    sum.occ_entries += s.occ_entries;
+                    sum.mix_hits += s.mix_hits;
+                    sum.mix_misses += s.mix_misses;
+                    sum.report_hits += s.report_hits;
+                    sum.report_misses += s.report_misses;
+                }
+                if seen {
+                    models.push(sum);
+                }
             }
-            (map.len(), model)
+            (map.len(), models)
         };
         StoreStats {
             kernels,
@@ -207,7 +238,7 @@ impl ArtifactStore {
             measurement_tiers,
             unique_evaluations,
             contexts,
-            model,
+            models,
         }
     }
 }
@@ -318,5 +349,50 @@ mod tests {
         let c = store.context(&custom);
         assert!(!Arc::ptr_eq(&a, &c), "distinct spec contents get distinct contexts");
         assert_eq!(store.stats().contexts, 2);
+    }
+
+    #[test]
+    fn contexts_are_keyed_by_model_too() {
+        let store = ArtifactStore::new();
+        let gpu = Gpu::K20.spec();
+        let sim = store.context_for(gpu, ModelId::Simulator);
+        let stat = store.context_for(gpu, ModelId::Static);
+        assert!(!Arc::ptr_eq(&sim, &stat), "one device, two backends, two contexts");
+        assert!(Arc::ptr_eq(&sim, &store.context(gpu)), "default is the simulator");
+        assert_eq!(store.stats().contexts, 2);
+    }
+
+    #[test]
+    fn models_never_share_measurements_but_share_compile_artifacts() {
+        let store = ArtifactStore::new();
+        let sizes = [64u64];
+        let gpu = Gpu::K20.spec();
+        let p = TuningParams::with_geometry(128, 48);
+
+        let sim = store.evaluator("atax", &builder, gpu, &sizes);
+        let stat = store.evaluator_with(
+            "atax",
+            &builder,
+            gpu,
+            &sizes,
+            EvalProtocol { model: ModelId::Static, ..EvalProtocol::default() },
+        );
+        let a = sim.evaluate(p);
+        let b = stat.evaluate(p);
+        assert!(a.feasible && b.feasible);
+        assert_ne!(a.time_ms, b.time_ms, "Eq. 6 model units vs simulator ms");
+
+        let stats = store.stats();
+        // Distinct measurement tiers and contexts per backend; each
+        // backend ran its own estimate (a cross-model hit would leave
+        // one of these at zero misses).
+        assert_eq!(stats.measurement_tiers, 2);
+        assert_eq!(stats.contexts, 2);
+        assert_eq!(stats.model(ModelId::Simulator).unwrap().report_misses, 1);
+        assert_eq!(stats.model(ModelId::Static).unwrap().report_misses, 1);
+        assert!(stats.model(ModelId::Roofline).is_none());
+        // Compilation artifacts are model-independent and shared.
+        assert_eq!(stats.front_end_tiers, 1);
+        assert_eq!(stats.front_end_lowerings, 1);
     }
 }

@@ -10,7 +10,9 @@
 //!   generators.
 //! * [`codegen`] — the compiler substrate: Orio-style transformations,
 //!   register estimation, lowering to compiled artifacts.
-//! * [`sim`] — the GPU timing simulator standing in for physical hardware.
+//! * [`sim`] — the GPU timing simulator standing in for physical
+//!   hardware, plus the pluggable `TimingModel` seam (simulator, static
+//!   Eq. 6, roofline backends behind one memoized context).
 //! * [`core`] — the paper's contribution: static analyzer and predictive
 //!   models (occupancy, instruction mixes, Eq. 6 time prediction,
 //!   parameter suggestion).

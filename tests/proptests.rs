@@ -290,11 +290,48 @@ proptest! {
         };
         if let Ok(kernel) = compile(&ast, gpu, params) {
             let ctx = ModelContext::new(gpu);
+            // The default context runs the simulator backend behind the
+            // TimingModel seam; an explicitly selected simulator context
+            // must be the very same thing.
+            prop_assert_eq!(ctx.model_id(), oriole::sim::ModelId::Simulator);
+            let explicit = ModelContext::for_model(gpu, oriole::sim::ModelId::Simulator);
             for _round in 0..2 {
                 prop_assert_eq!(ctx.simulate(&kernel, n), oriole::sim::simulate(&kernel, n));
+                prop_assert_eq!(explicit.simulate(&kernel, n), oriole::sim::simulate(&kernel, n));
                 let free = oriole::sim::measure(&kernel, n, 10, seed);
                 prop_assert_eq!(ctx.measure(&kernel, n, 10, seed), free);
                 prop_assert_eq!(ctx.dynamic_mix(&kernel, n), oriole::sim::dynamic_mix(&kernel, n));
+            }
+        }
+    }
+
+    #[test]
+    fn static_backend_matches_predict_time(
+        ast in arb_kernel(),
+        tc_i in 1u32..=16,
+        uif in 1u32..=5,
+        n in prop_oneof![Just(8u64), Just(64), Just(512)],
+    ) {
+        // The StaticPredictModel backend is Eq. 6 behind the seam: for
+        // every launchable kernel its report carries exactly the free
+        // `predict_time` value, and it refuses exactly the
+        // configurations the simulator refuses (shared feasibility
+        // gate).
+        use oriole::sim::{ModelContext, ModelId};
+        let gpu = Gpu::K20.spec();
+        let mut params = TuningParams::with_geometry(tc_i * 64, 48);
+        params.uif = uif;
+        if let Ok(kernel) = compile(&ast, gpu, params) {
+            let ctx = ModelContext::for_model(gpu, ModelId::Static);
+            match ctx.simulate(&kernel, n) {
+                Ok(r) => {
+                    let expected =
+                        oriole::core::predict_time(&kernel.program, kernel.geometry(n));
+                    prop_assert_eq!(r.time_ms, expected);
+                }
+                Err(e) => {
+                    prop_assert_eq!(Err(e), oriole::sim::simulate(&kernel, n));
+                }
             }
         }
     }
