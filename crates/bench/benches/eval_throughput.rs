@@ -16,6 +16,16 @@
 //! The space is the 5,120-variant Fig. 3 instantiation thinned on the
 //! `TC` axis (640 points) so a bench iteration stays affordable; pass
 //! through `evaluate_space` is end-to-end either way.
+//!
+//! The `disk/*` scenarios exercise the persistent tier: a cold sweep
+//! with write-through spilling, and a warm-from-disk re-sweep where a
+//! **fresh store** (standing in for a new process) serves the whole
+//! space from its on-disk artifact — the repo's acceptance bar is the
+//! warm-from-disk re-sweep ≥ 2× faster than the cold sweep. Pass
+//! `--store-dir DIR` to persist the scenario artifacts (and resume a
+//! killed run); the default is a throwaway temp directory. Pass
+//! `--json PATH` (a shim extension) to also write every result as
+//! machine-readable JSON, e.g. `BENCH_eval.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use oriole_arch::Gpu;
@@ -23,6 +33,23 @@ use oriole_codegen::compile;
 use oriole_kernels::KernelId;
 use oriole_sim::{dynamic_mix, measure, TrialProtocol};
 use oriole_tuner::{ArtifactStore, Evaluator, SearchSpace};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The disk-scenario base directory: `--store-dir` when given (kept on
+/// exit), a process-unique temp directory otherwise (removed on exit).
+fn disk_base_dir() -> (PathBuf, bool) {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--store-dir") {
+        if let Some(dir) = argv.get(i + 1) {
+            return (PathBuf::from(dir), true);
+        }
+    }
+    (
+        std::env::temp_dir().join(format!("oriole-eval-throughput-{}", std::process::id())),
+        false,
+    )
+}
 
 fn thinned_fig3_space() -> SearchSpace {
     let mut space = SearchSpace::paper_default();
@@ -138,6 +165,46 @@ fn bench_eval_throughput(c: &mut Criterion) {
             total
         })
     });
+
+    // The persistent tier. `disk/cold_sweep_writethrough` is a first
+    // run against an empty directory — every measurement is computed
+    // and spilled; `disk/warm_from_disk_resweep` rebuilds the store
+    // from scratch per iteration (a stand-in for a new process) and
+    // serves the identical sweep purely from the on-disk artifact. The
+    // acceptance bar: warm-from-disk ≥ 2× faster than cold (asserted
+    // with measurements in tests/persist.rs; observable here).
+    let (base, keep) = disk_base_dir();
+    let cold_counter = AtomicUsize::new(0);
+    g.bench_function("disk/cold_sweep_writethrough", |b| {
+        b.iter_batched(
+            || {
+                let dir =
+                    base.join(format!("cold-{}", cold_counter.fetch_add(1, Ordering::Relaxed)));
+                let _ = std::fs::remove_dir_all(&dir);
+                ArtifactStore::with_disk(&dir).expect("writable store dir")
+            },
+            |store| store.evaluator("atax", &builder, gpu, &sizes).evaluate_space(&space).len(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let warm_dir = base.join("warm");
+    {
+        // Populate once (or resume, under --store-dir).
+        let store = ArtifactStore::with_disk(&warm_dir).expect("writable store dir");
+        store.evaluator("atax", &builder, gpu, &sizes).evaluate_space(&space);
+    }
+    g.bench_function("disk/warm_from_disk_resweep", |b| {
+        b.iter_batched(
+            || ArtifactStore::with_disk(&warm_dir).expect("writable store dir"),
+            |store| store.evaluator("atax", &builder, gpu, &sizes).evaluate_space(&space).len(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    if !keep {
+        let _ = std::fs::remove_dir_all(&base);
+    }
 
     g.finish();
 }

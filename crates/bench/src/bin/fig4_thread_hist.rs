@@ -3,18 +3,19 @@
 //! comparing architectures and kernels.
 //!
 //! ```sh
-//! cargo run --release -p oriole-bench --bin fig4_thread_hist [--quick]
+//! cargo run --release -p oriole-bench --bin fig4_thread_hist [--quick] [--store-dir DIR]
 //! ```
 
 use oriole_bench::{exhaustive_measurements_in, thread_histogram, ExpOptions};
-use oriole_tuner::{split_ranks, ArtifactStore};
+use oriole_tuner::split_ranks;
 
 fn main() {
     let opts = ExpOptions::from_env();
     let space = opts.space();
     // One store for the whole run: sweeps share front-ends and model
     // caches across GPUs of one kernel (and with any future re-sweep).
-    let store = ArtifactStore::new();
+    // Under --store-dir the measurement tiers persist across runs.
+    let store = opts.store();
     println!("Fig. 4: thread counts for Orio autotuning exhaustive search.\n");
 
     for kid in opts.kernels() {
@@ -35,4 +36,8 @@ fn main() {
         "Shape targets (paper): atax/bicg rank-1 mass in the low thread range with \
          rank-2 high; matvec2d reversed; ex14fj diffuse."
     );
+    let summary = opts.store_summary(&store);
+    if !summary.is_empty() {
+        eprintln!("{summary}");
+    }
 }

@@ -3,21 +3,22 @@
 //! validates that the pruned searches still find near-optimal variants.
 //!
 //! ```sh
-//! cargo run --release -p oriole-bench --bin fig6_search_improvement [--quick]
+//! cargo run --release -p oriole-bench --bin fig6_search_improvement [--quick] [--store-dir DIR]
 //! ```
 
 use oriole_bench::{ExpOptions, TextTable};
 use oriole_codegen::{compile, TuningParams};
 use oriole_core::analyze_in;
-use oriole_tuner::{ArtifactStore, ExhaustiveSearch, PruneLevel, Searcher, StaticSearch};
+use oriole_tuner::{ExhaustiveSearch, PruneLevel, Searcher, StaticSearch};
 
 fn main() {
     let opts = ExpOptions::from_env();
     let space = opts.space();
     // One store for the run: the exhaustive sweep warms the measurement
     // tier, so both pruned searches below are pure cache hits instead of
-    // re-measuring their (large) subspaces from scratch.
-    let store = ArtifactStore::new();
+    // re-measuring their (large) subspaces from scratch. Under
+    // --store-dir the tiers persist, so a killed run resumes warm.
+    let store = opts.store();
     let mut table = TextTable::new(&[
         "Kernel",
         "Arch",
@@ -73,4 +74,8 @@ fn main() {
          (Kepler/Maxwell/Pascal, 4-5/32); static+rules ~93.8%; pruned searches stay \
          competitive with the exhaustive optimum."
     );
+    let summary = opts.store_summary(&store);
+    if !summary.is_empty() {
+        eprintln!("{summary}");
+    }
 }

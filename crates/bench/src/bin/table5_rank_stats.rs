@@ -4,16 +4,19 @@
 //! performers (Rank 2), per kernel per architecture.
 //!
 //! ```sh
-//! cargo run --release -p oriole-bench --bin table5_rank_stats [--quick]
+//! cargo run --release -p oriole-bench --bin table5_rank_stats [--quick] [--store-dir DIR]
 //! ```
+//!
+//! With `--store-dir` the exhaustive ground-truth sweeps persist: a
+//! killed or repeated run resumes as pure, bit-identical cache hits.
 
 use oriole_bench::{exhaustive_measurements_in, ExpOptions, TextTable};
-use oriole_tuner::{rank_stats, split_ranks, ArtifactStore};
+use oriole_tuner::{rank_stats, split_ranks};
 
 fn main() {
     let opts = ExpOptions::from_env();
     let space = opts.space();
-    let store = ArtifactStore::new();
+    let store = opts.store();
     eprintln!(
         "exhaustive sweep: {} variants x {} kernels x {} GPUs ...",
         space.len(),
@@ -60,4 +63,8 @@ fn main() {
          matvec2d; occupancy means similar across ranks; Rank-1 register-instruction \
          dispersion below Rank-2's."
     );
+    let summary = opts.store_summary(&store);
+    if !summary.is_empty() {
+        eprintln!("{summary}");
+    }
 }

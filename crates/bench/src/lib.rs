@@ -25,13 +25,18 @@ pub struct ExpOptions {
     pub gpu: Option<Gpu>,
     /// Restrict to one kernel.
     pub kernel: Option<KernelId>,
+    /// Persistent artifact-store directory: sweeps spill their
+    /// measurement tiers here and a re-run (or a run killed half-way)
+    /// resumes as pure, bit-identical cache hits.
+    pub store_dir: Option<String>,
 }
 
 impl ExpOptions {
-    /// Parses `--quick`, `--gpu <name>`, `--kernel <name>` from argv.
+    /// Parses `--quick`, `--gpu <name>`, `--kernel <name>` and
+    /// `--store-dir <dir>` from argv.
     pub fn from_env() -> ExpOptions {
         let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut opts = ExpOptions { quick: false, gpu: None, kernel: None };
+        let mut opts = ExpOptions { quick: false, gpu: None, kernel: None, store_dir: None };
         let mut i = 0;
         while i < argv.len() {
             match argv[i].as_str() {
@@ -47,10 +52,36 @@ impl ExpOptions {
                     opts.kernel = argv.get(i + 1).and_then(|s| KernelId::parse(s));
                     i += 2;
                 }
+                "--store-dir" => {
+                    opts.store_dir = argv.get(i + 1).cloned();
+                    i += 2;
+                }
                 _ => i += 1,
             }
         }
         opts
+    }
+
+    /// The run's [`ArtifactStore`]: disk-backed under `--store-dir`
+    /// (the sweep resumes across processes), memory-only otherwise.
+    pub fn store(&self) -> ArtifactStore {
+        match &self.store_dir {
+            Some(dir) => ArtifactStore::with_disk(dir)
+                .unwrap_or_else(|e| panic!("cannot open --store-dir `{dir}`: {e}")),
+            None => ArtifactStore::new(),
+        }
+    }
+
+    /// One line summarizing what the disk tier did this run (empty for
+    /// memory-only stores) — printed to stderr by the experiment bins.
+    pub fn store_summary(&self, store: &ArtifactStore) -> String {
+        match (store.stats().disk, &self.store_dir) {
+            (Some(d), Some(dir)) => format!(
+                "store {dir}: {} measurement(s) loaded from disk, {} spilled, {} rejected",
+                d.measurements_loaded, d.measurements_written, d.rejected
+            ),
+            _ => String::new(),
+        }
     }
 
     /// GPUs selected by the options.
@@ -222,8 +253,8 @@ mod tests {
 
     #[test]
     fn quick_space_is_smaller() {
-        let full = ExpOptions { quick: false, gpu: None, kernel: None };
-        let quick = ExpOptions { quick: true, gpu: None, kernel: None };
+        let full = ExpOptions { quick: false, gpu: None, kernel: None, store_dir: None };
+        let quick = ExpOptions { quick: true, gpu: None, kernel: None, store_dir: None };
         assert_eq!(full.space().len(), 5120);
         assert!(quick.space().len() < 1000);
         assert_eq!(quick.sizes(KernelId::Atax), vec![32, 128, 512]);
@@ -235,6 +266,32 @@ mod tests {
         let ms = exhaustive_measurements(KernelId::Atax, Gpu::K20, &space, &[64]);
         assert_eq!(ms.len(), space.len());
         assert!(ms.iter().all(|m| m.feasible));
+    }
+
+    #[test]
+    fn store_dir_option_makes_sweeps_resumable() {
+        let dir = std::env::temp_dir()
+            .join(format!("oriole-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExpOptions {
+            quick: true,
+            gpu: None,
+            kernel: None,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+        };
+        let space = SearchSpace::tiny();
+
+        let first = opts.store();
+        let cold = exhaustive_measurements_in(&first, KernelId::Atax, Gpu::K20, &space, &[64]);
+        assert!(opts.store_summary(&first).contains("16 spilled"));
+        drop(first);
+
+        let second = opts.store();
+        let warm = exhaustive_measurements_in(&second, KernelId::Atax, Gpu::K20, &space, &[64]);
+        assert_eq!(warm, cold);
+        assert_eq!(second.stats().unique_evaluations, 0, "resumed sweep computed nothing");
+        assert!(opts.store_summary(&second).contains("16 measurement(s) loaded"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

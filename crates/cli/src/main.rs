@@ -10,6 +10,8 @@
 //! oriole disasm   --kernel atax --gpu k20 [--tc 128 --uif 2 --fast-math]
 //! oriole tune     --kernel atax --gpu k20 --strategy static [--budget 640]
 //!                 [--sizes 32,64,128,256,512] [--spec path/to/spec]
+//!                 [--store-dir artifacts/]
+//! oriole store    {stats|verify|gc} --store-dir artifacts/
 //! ```
 
 mod args;

@@ -169,19 +169,52 @@ impl FeTier {
 }
 
 /// The measurement memo (scope: one kernel × device × input sizes ×
-/// [`EvalProtocol`]).
+/// [`EvalProtocol`]). Optionally disk-backed: a tier borrowed from a
+/// store with a disk tier is pre-seeded with the valid records of its
+/// on-disk artifact and spills every new computation back as an
+/// append-only, checksummed record (see [`crate::persist`]).
 pub(crate) struct MeasTier {
     map: ShardedOnceMap<TuningParams, Arc<Measurement>>,
     evaluations: AtomicUsize,
+    /// Measurements pre-seeded from the disk tier (0 without one).
+    disk_loaded: usize,
+    /// Append-only record writer of the on-disk artifact, when one is
+    /// attached.
+    spill: Option<crate::persist::TierSpill>,
 }
 
 impl MeasTier {
     pub(crate) fn new() -> MeasTier {
-        MeasTier { map: ShardedOnceMap::new(), evaluations: AtomicUsize::new(0) }
+        MeasTier::assemble(Vec::new(), None)
+    }
+
+    /// A tier seeded with disk-loaded measurements and (optionally)
+    /// spilling new computations to the same artifact. Seeded entries do
+    /// **not** count as evaluations — [`MeasTier::unique_evaluations`]
+    /// keeps meaning "points actually computed by this process".
+    pub(crate) fn assemble(
+        loaded: Vec<Measurement>,
+        spill: Option<crate::persist::TierSpill>,
+    ) -> MeasTier {
+        let map = ShardedOnceMap::new();
+        let disk_loaded = loaded.len();
+        for m in loaded {
+            let params = m.params;
+            map.get_or_init(params, move || Arc::new(m));
+        }
+        MeasTier { map, evaluations: AtomicUsize::new(0), disk_loaded, spill }
     }
 
     pub(crate) fn unique_evaluations(&self) -> usize {
         self.evaluations.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn disk_loaded(&self) -> usize {
+        self.disk_loaded
+    }
+
+    pub(crate) fn disk_spilled(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.written() as usize)
     }
 }
 
@@ -194,6 +227,11 @@ pub struct EvalStats {
     pub unique_evaluations: usize,
     /// Compile front-ends (unroll + lower) actually run.
     pub front_end_lowerings: usize,
+    /// Measurements pre-seeded into this tier from the store's disk
+    /// tier (0 for memory-only evaluators).
+    pub disk_loaded: usize,
+    /// Measurements this tier spilled to the store's disk tier.
+    pub disk_spilled: usize,
     /// Model-context cache counters (occupancy table, dynamic mix,
     /// `SimReport`).
     pub model: ModelStats,
@@ -348,6 +386,8 @@ impl<'a> Evaluator<'a> {
         EvalStats {
             unique_evaluations: self.unique_evaluations(),
             front_end_lowerings: self.front_end_lowerings(),
+            disk_loaded: self.cache.disk_loaded(),
+            disk_spilled: self.cache.disk_spilled(),
             model: self.ctx.stats(),
         }
     }
@@ -438,11 +478,18 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates one point (memoized; hits return a shared handle
-    /// without cloning the measurement).
+    /// without cloning the measurement). A newly computed point is
+    /// spilled to the tier's disk artifact, when one is attached, before
+    /// any waiter observes it — a killed sweep keeps everything it
+    /// measured.
     pub fn evaluate(&self, params: TuningParams) -> Arc<Measurement> {
         self.cache.map.get_or_init(params, || {
             self.cache.evaluations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(self.evaluate_uncached(params))
+            let m = Arc::new(self.evaluate_uncached(params));
+            if let Some(spill) = &self.cache.spill {
+                spill.append(&m);
+            }
+            m
         })
     }
 

@@ -21,7 +21,15 @@
 //!   are keyed per `(GpuSpec, `[`ModelId`]`)` and measurement tiers
 //!   carry the model id through [`EvalProtocol`], so the pluggable
 //!   timing backends (simulator, static Eq. 6, roofline) share
-//!   compilation artifacts but never each other's estimates.
+//!   compilation artifacts but never each other's estimates. With
+//!   [`ArtifactStore::with_disk`] the store is **tiered**: measurement
+//!   tiers spill to content-addressed on-disk artifacts and reload
+//!   bit-identically, so sweeps resume across processes.
+//! * [`persist`] — the hand-rolled, versioned, checksummed wire format
+//!   under the disk tier (canonical serialization for `GpuSpec`,
+//!   [`EvalProtocol`], `TuningParams`, [`Measurement`] and `SimReport`),
+//!   plus store maintenance (`scan`/`gc`) for the CLI's
+//!   `oriole store` subcommands.
 //! * [`search`] — the search algorithms Orio ships (exhaustive, random,
 //!   simulated annealing, genetic, Nelder–Mead simplex; §III-C "Current
 //!   search algorithms in Orio include…") plus the paper's new
@@ -36,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod persist;
 pub mod rank;
 pub mod replay;
 pub mod result;
@@ -57,6 +66,7 @@ pub use search::{
     AnnealingSearch, ExhaustiveSearch, GeneticSearch, HybridSearch, NelderMeadSearch, Oracle,
     PruneLevel, RandomSearch, SearchResult, Searcher, StaticSearch, StaticSearchReport,
 };
+pub use persist::{DiskStats, GcReport};
 pub use space::SearchSpace;
 pub use spec::{parse_spec, SpecError};
 pub use store::{ArtifactStore, StoreStats};

@@ -23,6 +23,12 @@ impl Searcher for ExhaustiveSearch {
         _budget: usize,
     ) -> SearchResult {
         let points: Vec<TuningParams> = space.iter().collect();
+        if points.is_empty() {
+            // A space with an empty axis (e.g. a user spec that pruned
+            // every thread count) has nothing to sweep; return the
+            // defined empty outcome instead of panicking.
+            return SearchResult::empty();
+        }
         let values = oracle.eval_many(&points);
         let (best_idx, best_time) = values
             .iter()
@@ -60,5 +66,19 @@ mod tests {
         let oracle = CountingOracle::new();
         ExhaustiveSearch.search(&space, &oracle, 0);
         assert_eq!(oracle.calls(), space.len());
+    }
+
+    #[test]
+    fn empty_space_returns_defined_result_instead_of_panicking() {
+        let mut space = SearchSpace::tiny();
+        space.tc = Vec::new(); // an axis pruned to nothing
+        assert!(space.is_empty());
+        let oracle = CountingOracle::new();
+        let r = ExhaustiveSearch.search(&space, &oracle, 0);
+        assert_eq!(oracle.calls(), 0, "nothing to evaluate");
+        assert_eq!(r.evaluations, 0);
+        assert_eq!(r.best_time, f64::INFINITY);
+        assert!(r.trace.is_empty());
+        assert_eq!(r, crate::search::SearchResult::empty());
     }
 }

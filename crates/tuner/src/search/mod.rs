@@ -89,6 +89,20 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
+    /// The defined outcome of searching an **empty** space: zero
+    /// evaluations, an empty trace, the default point as a placeholder
+    /// `best` and an infinite `best_time` — the same sentinel an
+    /// all-infeasible space produces, so callers already handling
+    /// "nothing launchable" handle "nothing to search" for free.
+    pub fn empty() -> SearchResult {
+        SearchResult {
+            best: TuningParams::default(),
+            best_time: f64::INFINITY,
+            evaluations: 0,
+            trace: Vec::new(),
+        }
+    }
+
     fn from_trace(trace: Vec<(TuningParams, f64)>) -> SearchResult {
         let (best, best_time) = trace
             .iter()

@@ -15,6 +15,22 @@
 //! | front-end | `kernel × GpuSpec` (entries add `size × UIF × CFLAGS`) | sweeps, sizes, protocols, models |
 //! | model context | `GpuSpec × `[`ModelId`] | kernels, sweeps (occupancy/mix/report caches) |
 //! | measurement | `kernel × GpuSpec × sizes × `[`EvalProtocol`] (which carries the [`ModelId`]) | repeated sweeps of one experiment |
+//! | **disk** (optional) | measurement scope, content-addressed file per tier | **processes** — sweeps resume across runs |
+//!
+//! # The disk tier
+//!
+//! [`ArtifactStore::with_disk`] adds a second, persistent tier under
+//! the measurement tier: opening a measurement scope first loads every
+//! valid record of its on-disk artifact (served as ordinary cache hits),
+//! and each newly computed measurement is appended back as a
+//! checksummed record, so a sweep killed mid-run resumes warm in the
+//! next process. The wire format ([`crate::persist`]) versions every
+//! file and seals every line with a checksum: corruption or version
+//! skew is detected and treated as a **miss** — recomputed, never
+//! trusted — and the embedded scope is verified on load so even a
+//! filename collision cannot alias experiments. Warm-from-disk results
+//! are bit-identical to cold computation (floats travel as raw IEEE-754
+//! bits).
 //!
 //! Compilation artifacts (ASTs, front-ends) are model-independent and
 //! shared across backends; everything a timing model touches — report
@@ -38,11 +54,13 @@
 //! front-ends, which is the one contract the store cannot check.
 
 use crate::eval::{AstTier, EvalProtocol, Evaluator, FeTier, MeasTier};
+use crate::persist::{self, DiskStats};
 use oriole_arch::GpuSpec;
 use oriole_ir::KernelAst;
 use oriole_sim::{ModelContext, ModelId, ModelStats};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Scope key of a front-end tier.
 #[derive(PartialEq, Eq, Hash)]
@@ -60,12 +78,20 @@ struct MeasScope {
     protocol: EvalProtocol,
 }
 
+/// The attached disk tier: its directory and the shared counters every
+/// tier spill reports into.
+struct DiskHandle {
+    dir: PathBuf,
+    counters: Arc<persist::DiskCounters>,
+}
+
 #[derive(Default)]
 struct StoreInner {
     asts: Mutex<HashMap<String, Arc<AstTier>>>,
     front_ends: Mutex<HashMap<FeScope, Arc<FeTier>>>,
     measurements: Mutex<HashMap<MeasScope, Arc<MeasTier>>>,
     contexts: Mutex<HashMap<(GpuSpec, ModelId), Arc<ModelContext>>>,
+    disk: OnceLock<DiskHandle>,
 }
 
 /// Aggregate telemetry of a store: tier counts and summed counters.
@@ -87,6 +113,8 @@ pub struct StoreStats {
     /// [`ModelId`] with at least one context, in [`ModelId::ALL`]
     /// order) — different cost models never blur into one aggregate.
     pub models: Vec<ModelStats>,
+    /// Disk-tier counters; `None` when the store is memory-only.
+    pub disk: Option<DiskStats>,
 }
 
 impl StoreStats {
@@ -109,6 +137,25 @@ impl ArtifactStore {
     /// An empty store.
     pub fn new() -> ArtifactStore {
         ArtifactStore::default()
+    }
+
+    /// A store whose measurement tiers are backed by the persistent
+    /// disk tier under `dir` (created if absent): opening a scope loads
+    /// its on-disk artifact, and new computations are spilled back, so
+    /// sweeps resume bit-identically across processes. See the
+    /// [module docs](self) and [`crate::persist`].
+    pub fn with_disk(dir: impl AsRef<Path>) -> std::io::Result<ArtifactStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let store = ArtifactStore::new();
+        let handle = DiskHandle { dir, counters: Arc::new(persist::DiskCounters::default()) };
+        let _ = store.inner.disk.set(handle);
+        Ok(store)
+    }
+
+    /// The disk-tier directory, when one is attached.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.inner.disk.get().map(|d| d.dir.as_path())
     }
 
     /// The shared default-backend (simulator) context for a device
@@ -148,6 +195,9 @@ impl ArtifactStore {
         sizes: &[u64],
         protocol: EvalProtocol,
     ) -> Arc<MeasTier> {
+        // The disk open (one file read + header verify) runs under the
+        // map lock so each scope's artifact is opened exactly once per
+        // process, even under racing evaluators.
         let mut map = self.inner.measurements.lock().expect("store lock");
         Arc::clone(
             map.entry(MeasScope {
@@ -156,7 +206,14 @@ impl ArtifactStore {
                 sizes: sizes.to_vec(),
                 protocol,
             })
-            .or_insert_with(|| Arc::new(MeasTier::new())),
+            .or_insert_with(|| match self.inner.disk.get() {
+                None => Arc::new(MeasTier::new()),
+                Some(disk) => {
+                    let scope = persist::scope_text(kernel, gpu, sizes, &protocol);
+                    let opened = persist::open_tier(&disk.dir, &scope, &disk.counters);
+                    Arc::new(MeasTier::assemble(opened.measurements, opened.spill))
+                }
+            }),
         )
     }
 
@@ -239,6 +296,7 @@ impl ArtifactStore {
             unique_evaluations,
             contexts,
             models,
+            disk: self.inner.disk.get().map(|d| d.counters.snapshot()),
         }
     }
 }
@@ -360,6 +418,44 @@ mod tests {
         assert!(!Arc::ptr_eq(&sim, &stat), "one device, two backends, two contexts");
         assert!(Arc::ptr_eq(&sim, &store.context(gpu)), "default is the simulator");
         assert_eq!(store.stats().contexts, 2);
+    }
+
+    #[test]
+    fn disk_tier_resumes_sweeps_across_stores() {
+        let dir = std::env::temp_dir()
+            .join(format!("oriole-store-unit-{}-resume", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sizes = [64u64];
+        let space = SearchSpace::tiny();
+        let gpu = Gpu::K20.spec();
+
+        let cold_store = ArtifactStore::with_disk(&dir).expect("store dir");
+        let cold = cold_store.evaluator("atax", &builder, gpu, &sizes).evaluate_space(&space);
+        let cs = cold_store.stats();
+        assert_eq!(cs.unique_evaluations, space.len());
+        let cd = cs.disk.expect("disk attached");
+        assert_eq!(cd.measurements_written as usize, space.len());
+        assert_eq!(cd.measurements_loaded, 0);
+        drop(cold_store);
+
+        // A second store (standing in for a second process): the whole
+        // sweep is served from disk, bit-identically, computing nothing.
+        let warm_store = ArtifactStore::with_disk(&dir).expect("store dir");
+        let warm = warm_store.evaluator("atax", &builder, gpu, &sizes).evaluate_space(&space);
+        assert_eq!(warm, cold);
+        let ws = warm_store.stats();
+        assert_eq!(ws.unique_evaluations, 0, "warm-from-disk sweep computed nothing");
+        let wd = ws.disk.expect("disk attached");
+        assert_eq!(wd.measurements_loaded as usize, space.len());
+        assert_eq!((wd.tier_hits, wd.rejected), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_store_reports_no_disk_stats() {
+        let store = ArtifactStore::new();
+        assert_eq!(store.stats().disk, None);
+        assert_eq!(store.disk_dir(), None);
     }
 
     #[test]

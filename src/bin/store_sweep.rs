@@ -1,0 +1,43 @@
+//! Cross-process driver for the persistent-store round-trip suite
+//! (`tests/persist.rs`): runs one exhaustive sweep of the tiny space
+//! against a disk-backed [`ArtifactStore`] and prints every measurement
+//! in the canonical wire serialization, so two invocations can be
+//! byte-compared across process boundaries.
+//!
+//! ```text
+//! store_sweep <store-dir> <kernel> <gpu> <sizes,csv>
+//! ```
+//!
+//! Measurements go to stdout (one canonical record per line, in space
+//! order); a `computed=<n> loaded=<n> written=<n>` stats line goes to
+//! stderr.
+
+use oriole::arch::Gpu;
+use oriole::kernels::KernelId;
+use oriole::tuner::{persist, ArtifactStore, SearchSpace};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() != 4 {
+        eprintln!("usage: store_sweep <store-dir> <kernel> <gpu> <sizes,csv>");
+        std::process::exit(2);
+    }
+    let kid = KernelId::parse(&argv[1]).expect("known kernel");
+    let gpu = Gpu::parse(&argv[2]).expect("known gpu");
+    let sizes: Vec<u64> =
+        argv[3].split(',').map(|s| s.trim().parse().expect("numeric size")).collect();
+
+    let store = ArtifactStore::with_disk(&argv[0]).expect("writable store dir");
+    let builder = move |n: u64| kid.ast(n);
+    let evaluator = store.evaluator(kid.name(), &builder, gpu.spec(), &sizes);
+    let measurements = evaluator.evaluate_space(&SearchSpace::tiny());
+    for m in &measurements {
+        println!("{}", persist::emit_measurement(m));
+    }
+    let stats = store.stats();
+    let disk = stats.disk.expect("disk tier attached");
+    eprintln!(
+        "computed={} loaded={} written={}",
+        stats.unique_evaluations, disk.measurements_loaded, disk.measurements_written
+    );
+}

@@ -10,7 +10,68 @@
 
 #![warn(missing_docs)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One finished benchmark's record, collected for `--json` export.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// `group/name` label as printed.
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: u128,
+    /// Iterations timed.
+    pub iters: u64,
+}
+
+fn results() -> &'static Mutex<Vec<BenchRecord>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Extracts the `--json <path>` flag from an argument list (the shim's
+/// machine-readable-output extension; real criterion would reject it,
+/// the shim's arg handling ignores everything it doesn't know).
+pub fn json_path_from(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders collected records as a small JSON document (hand-rolled; the
+/// workspace vendors no serde).
+pub fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"format\": \"oriole-bench-v1\",\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}}}{}\n",
+            json_escape(&r.label),
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Called by `criterion_main!` after all groups ran: when the process
+/// was invoked with `--json <path>`, writes every benchmark's mean
+/// time there as machine-readable JSON (so perf trajectories can be
+/// tracked across commits), in addition to the stdout lines.
+pub fn finish() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = json_path_from(&args) {
+        let records = results().lock().expect("bench results lock");
+        if let Err(e) = std::fs::write(&path, render_json(&records)) {
+            eprintln!("cannot write --json {path}: {e}");
+        } else {
+            println!("bench: wrote {} result(s) to {path}", records.len());
+        }
+    }
+}
 
 /// Opaque value barrier preventing the optimizer from deleting the
 /// benchmarked computation.
@@ -137,6 +198,11 @@ fn run_bench<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, samples: u
     };
     let per_iter = if b.iterations > 0 { b.elapsed / b.iterations as u32 } else { Duration::ZERO };
     println!("bench: {label:<48} {per_iter:>12.3?}/iter ({} iters)", b.iterations);
+    results().lock().expect("bench results lock").push(BenchRecord {
+        label,
+        ns_per_iter: per_iter.as_nanos(),
+        iters: b.iterations,
+    });
 }
 
 /// Declares a bench entry point composed of bench functions, mirroring
@@ -158,6 +224,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finish();
         }
     };
 }
@@ -165,6 +232,27 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_flag_parses_and_renders() {
+        let args: Vec<String> =
+            ["bench", "--bench", "--json", "out.json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(json_path_from(&args), Some("out.json".to_string()));
+        assert_eq!(json_path_from(&args[..2]), None);
+        // Trailing --json without a path is ignored, not a panic.
+        let dangling: Vec<String> = vec!["bench".into(), "--json".into()];
+        assert_eq!(json_path_from(&dangling), None);
+
+        let records = vec![
+            BenchRecord { label: "g/cold".into(), ns_per_iter: 1500, iters: 10 },
+            BenchRecord { label: "g/\"warm\"".into(), ns_per_iter: 7, iters: 10 },
+        ];
+        let json = render_json(&records);
+        assert!(json.contains("\"name\": \"g/cold\""));
+        assert!(json.contains("\"ns_per_iter\": 1500"));
+        assert!(json.contains("\\\"warm\\\""), "quotes escaped: {json}");
+        assert!(json.trim_end().ends_with('}'));
+    }
 
     #[test]
     fn iter_runs_routine_sample_size_times() {
