@@ -29,10 +29,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use oriole_arch::Gpu;
-use oriole_codegen::compile;
+use oriole_codegen::{compile, TuningParams};
 use oriole_kernels::KernelId;
+use oriole_service::{Client, EvalScope, Server};
 use oriole_sim::{dynamic_mix, measure, TrialProtocol};
-use oriole_tuner::{ArtifactStore, Evaluator, SearchSpace};
+use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, SearchSpace};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -205,6 +206,71 @@ fn bench_eval_throughput(c: &mut Criterion) {
     if !keep {
         let _ = std::fs::remove_dir_all(&base);
     }
+
+    // The serving path (`oriole serve` / `--remote`): the same sweep
+    // through a real TCP + framed-RPC boundary against an in-process
+    // daemon. `service/remote_cold_sweep` spins a fresh daemon (empty
+    // memory store) per iteration — the whole space is computed
+    // server-side and every measurement crosses the wire; compared
+    // against `cold/Nthreads` it prices the RPC + canonical-
+    // serialization overhead of remote evaluation.
+    let points: Vec<TuningParams> = space.iter().collect();
+    let scope = EvalScope {
+        kernel: "atax".to_string(),
+        gpu: gpu.clone(),
+        sizes: sizes.to_vec(),
+        protocol: EvalProtocol::default(),
+    };
+    g.bench_function("service/remote_cold_sweep", |b| {
+        b.iter_batched(
+            || {
+                let server =
+                    Server::bind("127.0.0.1:0", ArtifactStore::new()).expect("bind loopback");
+                let addr = server.local_addr().expect("local addr").to_string();
+                let handle = std::thread::spawn(move || server.run().expect("serve"));
+                let client = Client::connect(&addr).expect("connect");
+                (client, handle)
+            },
+            |(client, handle)| {
+                let served = client.evaluate(&scope, &points).expect("evaluate").1.len();
+                client.shutdown().expect("shutdown");
+                handle.join().expect("server thread");
+                served
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // `service/warm_shared_clients`: one long-lived daemon whose store
+    // already holds the space, N concurrent client connections each
+    // traversing all of it — the multi-tenant serving hot path (pure
+    // tier hits plus framing), the scenario the sharded service
+    // exists for.
+    const CLIENTS: usize = 4;
+    let server = Server::bind("127.0.0.1:0", ArtifactStore::new()).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server_handle = std::thread::spawn(move || server.run().expect("serve"));
+    Client::connect(&addr)
+        .expect("connect")
+        .evaluate(&scope, &points)
+        .expect("warm the daemon store");
+    g.bench_function("service/warm_shared_clients", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let client = Client::connect(&addr).expect("connect");
+                            client.evaluate(&scope, &points).expect("evaluate").1.len()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client thread")).sum::<usize>()
+            })
+        })
+    });
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    server_handle.join().expect("server thread");
 
     g.finish();
 }

@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Known boolean switches (present/absent, no value).
-const SWITCHES: &[&str] = &["fast-math", "csv", "quiet", "stats"];
+const SWITCHES: &[&str] = &["fast-math", "csv", "quiet", "stats", "dry-run"];
 
 impl Args {
     /// Parses everything after the subcommand.

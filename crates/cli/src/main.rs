@@ -10,9 +10,16 @@
 //! oriole disasm   --kernel atax --gpu k20 [--tc 128 --uif 2 --fast-math]
 //! oriole tune     --kernel atax --gpu k20 --strategy static [--budget 640]
 //!                 [--sizes 32,64,128,256,512] [--spec path/to/spec]
-//!                 [--store-dir artifacts/]
-//! oriole store    {stats|verify|gc} --store-dir artifacts/
+//!                 [--store-dir artifacts/ | --remote 127.0.0.1:7733]
+//! oriole store    {stats|verify|gc [--dry-run]} --store-dir artifacts/
+//! oriole serve    [--addr 127.0.0.1:7733] [--store-dir artifacts/]
+//! oriole service  {ping|stats|shutdown} --remote 127.0.0.1:7733
 //! ```
+//!
+//! `serve` runs the tuner daemon: one shared artifact store behind a
+//! framed RPC protocol, so concurrent `--remote` clients share
+//! front-ends, model contexts and measurements — bit-identically to
+//! local evaluation.
 
 mod args;
 mod commands;

@@ -1,0 +1,342 @@
+//! Client library: a framed-RPC [`Client`] plus the [`RemoteEvaluator`]
+//! facade that makes a remote daemon look like a local oracle.
+//!
+//! [`RemoteEvaluator`] implements [`Oracle`], so every existing search
+//! strategy — `RandomSearch`, `AnnealingSearch`, `GeneticSearch`,
+//! `HybridSearch` with replay validation, all of them — runs unchanged
+//! against a daemon. Batched oracle queries become one `evaluate` RPC
+//! for the batch's cache misses; revisits (stochastic searchers revisit
+//! constantly) are served from a client-side memo without touching the
+//! network. Because evaluation is deterministic and the wire format is
+//! bit-exact, a remote search produces the *identical trace* a local
+//! one does.
+
+use crate::protocol::{self, EvalScope, Request, Response, ServiceStats};
+use oriole_arch::GpuSpec;
+use oriole_codegen::TuningParams;
+use oriole_sim::{ModelId, SimReport};
+use oriole_tuner::persist::{read_frame, write_frame, FrameError};
+use oriole_tuner::{Measurement, Oracle};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Why an RPC failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Connection-level failure (connect, send, receive).
+    Io(std::io::Error),
+    /// The response frame was damaged or unparseable.
+    Frame(FrameError),
+    /// The response parsed but was not the expected shape, or carried a
+    /// wire error.
+    Protocol(String),
+    /// The daemon answered with an error (its message included —
+    /// unknown kernel, infeasible request, version skew, …).
+    Remote(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
+            ServiceError::Frame(e) => write!(f, "service frame error: {e}"),
+            ServiceError::Protocol(m) => write!(f, "service protocol error: {m}"),
+            ServiceError::Remote(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> ServiceError {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServiceError {
+    fn from(e: FrameError) -> ServiceError {
+        ServiceError::Frame(e)
+    }
+}
+
+/// One connection to a tuner daemon. All methods are `&self` (the
+/// stream sits behind a mutex), and each issues exactly one
+/// request/response exchange.
+pub struct Client {
+    stream: Mutex<TcpStream>,
+    addr: String,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:7733`).
+    pub fn connect(addr: &str) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream: Mutex::new(stream), addr: addr.to_string() })
+    }
+
+    /// [`Client::connect`] retried until `timeout` elapses — the
+    /// "daemon was just spawned" path (CI smoke jobs, tests, scripts).
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Client, ServiceError> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// The address this client dialed.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn call(&self, req: &Request) -> Result<Response, ServiceError> {
+        let mut stream = self.stream.lock().expect("client stream lock");
+        write_frame(&mut *stream, &protocol::emit_request(req))?;
+        let payload = read_frame(&mut *stream)?;
+        match protocol::parse_response(&payload) {
+            Ok(Response::Error { message }) => Err(ServiceError::Remote(message)),
+            Ok(resp) => Ok(resp),
+            Err(e) => Err(ServiceError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ServiceError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServiceError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Server + store telemetry.
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ServiceError::Protocol(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. Returns once the shutdown is
+    /// acknowledged (the daemon may still be draining in-flight work).
+    pub fn shutdown(&self) -> Result<(), ServiceError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ServiceError::Protocol(format!("expected shutdown ack, got {other:?}"))),
+        }
+    }
+
+    /// Evaluates a batch of points under `scope`. Returns the
+    /// fresh-computation count of this request window and one
+    /// measurement per point, in request order, bit-identical to local
+    /// evaluation.
+    pub fn evaluate(
+        &self,
+        scope: &EvalScope,
+        points: &[TuningParams],
+    ) -> Result<(u64, Vec<Measurement>), ServiceError> {
+        let req = Request::Evaluate { scope: scope.clone(), points: points.to_vec() };
+        match self.call(&req)? {
+            Response::Evaluate { computed, measurements } => {
+                if measurements.len() != points.len() {
+                    return Err(ServiceError::Protocol(format!(
+                        "evaluate returned {} measurements for {} points",
+                        measurements.len(),
+                        points.len()
+                    )));
+                }
+                // The ordering contract is positional; verify it rather
+                // than trust it, so a confused daemon surfaces as a
+                // protocol error instead of mislabeled measurements.
+                for (p, m) in points.iter().zip(&measurements) {
+                    if m.params != *p {
+                        return Err(ServiceError::Protocol(format!(
+                            "evaluate returned measurement for {} where {} was requested",
+                            m.params, p
+                        )));
+                    }
+                }
+                Ok((computed, measurements))
+            }
+            other => Err(ServiceError::Protocol(format!("expected measurements, got {other:?}"))),
+        }
+    }
+
+    /// Compiles and simulates one variant remotely; returns the
+    /// selected trial time and the full report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate(
+        &self,
+        kernel: &str,
+        gpu: &GpuSpec,
+        n: u64,
+        params: TuningParams,
+        model: ModelId,
+        trials: u32,
+        seed: u64,
+    ) -> Result<(f64, SimReport), ServiceError> {
+        let req = Request::Simulate {
+            kernel: kernel.to_string(),
+            gpu: gpu.clone(),
+            n,
+            params,
+            model,
+            trials,
+            seed,
+        };
+        match self.call(&req)? {
+            Response::Simulate { selected, report } => Ok((selected, report)),
+            other => Err(ServiceError::Protocol(format!("expected report, got {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client").field("addr", &self.addr).finish()
+    }
+}
+
+/// A remote [`Oracle`]: one experiment scope evaluated through a daemon,
+/// with a client-side memo so revisits never re-cross the network.
+///
+/// The oracle contract has no error channel, so an RPC failure
+/// mid-search is **latched**: the failing point scores
+/// `f64::INFINITY`, every later query short-circuits the same way, and
+/// the driver must check [`RemoteEvaluator::take_error`] after the
+/// search — a lost daemon aborts the run loudly instead of silently
+/// returning garbage winners.
+pub struct RemoteEvaluator {
+    client: Client,
+    scope: EvalScope,
+    cache: Mutex<HashMap<TuningParams, Measurement>>,
+    fetched: AtomicU64,
+    computed_remote: AtomicU64,
+    error: Mutex<Option<String>>,
+    poisoned: std::sync::atomic::AtomicBool,
+}
+
+impl RemoteEvaluator {
+    /// A remote evaluator over `scope`, speaking through `client`.
+    pub fn new(client: Client, scope: EvalScope) -> RemoteEvaluator {
+        RemoteEvaluator {
+            client,
+            scope,
+            cache: Mutex::new(HashMap::new()),
+            fetched: AtomicU64::new(0),
+            computed_remote: AtomicU64::new(0),
+            error: Mutex::new(None),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// The experiment scope every query runs under.
+    pub fn scope(&self) -> &EvalScope {
+        &self.scope
+    }
+
+    /// The underlying connection (for side-channel requests like
+    /// [`Client::stats`] on the same session).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Distinct points fetched over the wire so far (client-side cache
+    /// misses; deterministic for a deterministic search).
+    pub fn fetched(&self) -> u64 {
+        self.fetched.load(Ordering::Relaxed)
+    }
+
+    /// Points the *daemon* computed fresh across this evaluator's
+    /// requests — 0 on a fully warm store.
+    pub fn computed_remote(&self) -> u64 {
+        self.computed_remote.load(Ordering::Relaxed)
+    }
+
+    /// The latched RPC failure, if any. Drivers must call this after a
+    /// search and treat `Some` as an aborted run. Taking the message
+    /// does **not** revive the evaluator: once poisoned it answers
+    /// `None`/infinity forever, so a partially failed run can never mix
+    /// stale and fresh answers.
+    pub fn take_error(&self) -> Option<String> {
+        self.error.lock().expect("error lock").take()
+    }
+
+    fn latch_error(&self, e: ServiceError) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let mut slot = self.error.lock().expect("error lock");
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+    }
+
+    /// Evaluates one point (memoized client-side). `None` after an RPC
+    /// failure — see [`RemoteEvaluator::take_error`].
+    pub fn evaluate(&self, params: TuningParams) -> Option<Measurement> {
+        self.evaluate_batch(&[params]).map(|mut v| v.remove(0))
+    }
+
+    /// Evaluates a batch: one RPC for the cache misses, everything else
+    /// from the memo. Results in input order, `None` on RPC failure.
+    pub fn evaluate_batch(&self, points: &[TuningParams]) -> Option<Vec<Measurement>> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return None;
+        }
+        let mut cache = self.cache.lock().expect("remote cache lock");
+        let mut missing: Vec<TuningParams> = Vec::new();
+        let mut queued: std::collections::HashSet<TuningParams> = std::collections::HashSet::new();
+        for p in points {
+            if !cache.contains_key(p) && queued.insert(*p) {
+                missing.push(*p);
+            }
+        }
+        if !missing.is_empty() {
+            match self.client.evaluate(&self.scope, &missing) {
+                Ok((computed, measurements)) => {
+                    self.fetched.fetch_add(missing.len() as u64, Ordering::Relaxed);
+                    self.computed_remote.fetch_add(computed, Ordering::Relaxed);
+                    for m in measurements {
+                        cache.insert(m.params, m);
+                    }
+                }
+                Err(e) => {
+                    drop(cache);
+                    self.latch_error(e);
+                    return None;
+                }
+            }
+        }
+        Some(points.iter().map(|p| cache[p].clone()).collect())
+    }
+}
+
+impl Oracle for RemoteEvaluator {
+    fn eval(&self, params: TuningParams) -> f64 {
+        self.evaluate(params).map_or(f64::INFINITY, |m| m.time_ms)
+    }
+
+    fn eval_many(&self, points: &[TuningParams]) -> Vec<f64> {
+        match self.evaluate_batch(points) {
+            Some(ms) => ms.into_iter().map(|m| m.time_ms).collect(),
+            None => vec![f64::INFINITY; points.len()],
+        }
+    }
+}
+
+impl fmt::Debug for RemoteEvaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteEvaluator")
+            .field("addr", &self.client.addr)
+            .field("kernel", &self.scope.kernel)
+            .field("fetched", &self.fetched())
+            .finish()
+    }
+}

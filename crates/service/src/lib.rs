@@ -1,0 +1,50 @@
+//! # oriole-service — the sharded tuner service
+//!
+//! The evaluation engine as a long-lived daemon: one process owns one
+//! process-level [`ArtifactStore`](oriole_tuner::ArtifactStore)
+//! (optionally disk-backed) and serves it to any number of tuner
+//! clients over localhost TCP, so concurrent searches sweeping
+//! overlapping spaces share front-ends, model contexts and whole
+//! measurement tiers instead of recomputing them per process.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — the RPC vocabulary: `evaluate` (a batch of tuning
+//!   points under one experiment scope), `simulate`, `stats`, `ping`
+//!   and `shutdown` requests, with responses carrying
+//!   [`Measurement`](oriole_tuner::Measurement) /
+//!   [`SimReport`](oriole_sim::SimReport) records in
+//!   `oriole_tuner::persist`'s canonical serialization — floats as raw
+//!   IEEE-754 bits, so remote results are **bit-identical** to local
+//!   evaluation. Payloads travel in length-framed, checksummed frames
+//!   ([`oriole_tuner::persist::write_frame`]).
+//! * [`server`] — the daemon: a blocking accept loop (woken for
+//!   shutdown by a self-connection) handing each connection to a
+//!   worker thread. All workers evaluate through the
+//!   one shared store, whose sharded in-flight-deduplicating tiers make
+//!   "single writer per scope" automatic inside the process: two
+//!   clients racing on one point compute it once. Malformed frames and
+//!   version skew are rejected without poisoning the store; a client
+//!   disconnecting mid-request costs only its own response. Shutdown
+//!   (by RPC) drains in-flight evaluations before the listener exits,
+//!   so a daemon with a `--store-dir` never tears its own spill lines.
+//! * [`client`] — the client library: a [`Client`] speaking the
+//!   protocol and a [`RemoteEvaluator`] facade implementing
+//!   [`oriole_tuner::Oracle`], so every existing search strategy runs
+//!   unchanged against a daemon — `RandomSearch`, `GeneticSearch`,
+//!   hybrid search with replay validation, all of them.
+//!
+//! The one discipline the daemon cannot check: a store *directory* must
+//! have a single writing process. Run exactly one daemon per
+//! `--store-dir` and point every client at it (readers of a quiescent
+//! directory — `store stats`/`verify` — are always safe).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, RemoteEvaluator, ServiceError};
+pub use protocol::{EvalScope, Request, Response, ServiceStats, RPC_VERSION};
+pub use server::{Server, ServeSummary};

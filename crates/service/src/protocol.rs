@@ -1,0 +1,509 @@
+//! The RPC vocabulary: request/response payloads in
+//! [`oriole_tuner::persist`]'s canonical, checksummed wire format.
+//!
+//! Every payload is text, versioned by its first line
+//! (`oriole-rpc v1 <verb>`), and travels inside one length-framed,
+//! FNV-checksummed frame ([`persist::write_frame`] /
+//! [`persist::read_frame`]). The records inside — [`GpuSpec`],
+//! [`EvalProtocol`], [`TuningParams`], [`Measurement`], [`SimReport`] —
+//! reuse the persist codecs verbatim: the same serialization the disk
+//! tier trusts, floats as raw IEEE-754 bits, so a measurement that
+//! crossed the wire is bit-identical to one computed locally.
+//!
+//! Version skew is detected (a peer announcing any other
+//! `oriole-rpc vN` is answered with an error naming both versions, then
+//! disconnected) and a payload that parses but names impossible values
+//! is a per-request error — the connection survives, the store is never
+//! touched with unvalidated input.
+
+use oriole_arch::GpuSpec;
+use oriole_codegen::TuningParams;
+use oriole_sim::{ModelId, SimReport};
+use oriole_tuner::persist::{self, WireError};
+use oriole_tuner::{EvalProtocol, Measurement};
+
+/// The protocol version this build speaks; the first token pair of
+/// every payload.
+pub const RPC_VERSION: &str = "oriole-rpc v1";
+
+/// The experiment scope of an `evaluate` batch: exactly the
+/// measurement-tier key of the daemon's store, so two clients that
+/// agree on a scope share each other's artifacts and measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalScope {
+    /// Kernel name (must parse as a registry [`oriole_kernels::KernelId`]
+    /// on the daemon).
+    pub kernel: String,
+    /// Full device spec by contents — synthetic devices evaluate
+    /// remotely without any registry entry on the server.
+    pub gpu: GpuSpec,
+    /// Input sizes.
+    pub sizes: Vec<u64>,
+    /// Measurement protocol (trials, selection, seed, objective,
+    /// timing-model backend).
+    pub protocol: EvalProtocol,
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to drain in-flight work and exit its accept loop.
+    Shutdown,
+    /// Server and store telemetry.
+    Stats,
+    /// Evaluate a batch of tuning points under one scope; the response
+    /// carries one [`Measurement`] per point, in request order.
+    Evaluate {
+        /// Experiment scope (store tier key).
+        scope: EvalScope,
+        /// Points to evaluate.
+        points: Vec<TuningParams>,
+    },
+    /// Compile + simulate one variant; the response carries the
+    /// [`SimReport`] plus the selected trial time.
+    Simulate {
+        /// Kernel name.
+        kernel: String,
+        /// Device spec by contents.
+        gpu: GpuSpec,
+        /// Input size.
+        n: u64,
+        /// Tuning point.
+        params: TuningParams,
+        /// Timing-model backend.
+        model: ModelId,
+        /// Noisy trials to run.
+        trials: u32,
+        /// Trial noise seed.
+        seed: u64,
+    },
+}
+
+/// Daemon-side counters returned by [`Request::Stats`]: the server's
+/// serving telemetry plus a summary of its store's
+/// [`StoreStats`](oriole_tuner::StoreStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Connections accepted since the daemon started.
+    pub connections: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Tuning points served across all `evaluate` batches (hits and
+    /// misses alike).
+    pub points_served: u64,
+    /// Kernels with an AST tier in the store.
+    pub kernels: u64,
+    /// `(kernel, gpu)` front-end tiers.
+    pub front_end_tiers: u64,
+    /// Front-end lowerings run across all tiers.
+    pub front_end_lowerings: u64,
+    /// Measurement tiers (distinct experiment scopes).
+    pub measurement_tiers: u64,
+    /// Distinct points computed across all tiers since start.
+    pub unique_evaluations: u64,
+    /// `(device, model)` contexts.
+    pub contexts: u64,
+    /// Disk-tier counters; `None` when the daemon's store is
+    /// memory-only.
+    pub disk: Option<persist::DiskStats>,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShuttingDown,
+    /// Answer to [`Request::Stats`].
+    Stats(ServiceStats),
+    /// Answer to [`Request::Evaluate`].
+    Evaluate {
+        /// Points of this batch the store computed fresh (as opposed to
+        /// serving from a tier). Deterministically 0 on a fully warm
+        /// re-run; under concurrent clients a computation is attributed
+        /// to whichever request window observed it.
+        computed: u64,
+        /// One measurement per requested point, in request order,
+        /// bit-identical to local evaluation.
+        measurements: Vec<Measurement>,
+    },
+    /// Answer to [`Request::Simulate`].
+    Simulate {
+        /// Fifth-of-ten selected trial time (the CLI display protocol).
+        selected: f64,
+        /// The full simulation report.
+        report: SimReport,
+    },
+    /// The request could not be served; the connection stays usable
+    /// unless the error names a version skew or malformed frame.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Shared parsing helpers
+// ---------------------------------------------------------------------------
+
+/// Splits a payload into its verb (after version checking) and body
+/// lines. A peer speaking another `oriole-rpc` version is reported as
+/// such — the message names both versions so operators can tell skew
+/// from corruption.
+fn split_verb(payload: &str) -> Result<(&str, std::str::Lines<'_>), WireError> {
+    let mut lines = payload.lines();
+    let head = lines.next().unwrap_or_default();
+    if let Some(verb) = head.strip_prefix(RPC_VERSION).and_then(|r| r.strip_prefix(' ')) {
+        Ok((verb, lines))
+    } else if head.starts_with("oriole-rpc ") {
+        Err(WireError::new(format!(
+            "version skew: peer speaks `{head}`, this build speaks `{RPC_VERSION}`"
+        )))
+    } else {
+        Err(WireError::new(format!("not an {RPC_VERSION} payload: `{head}`")))
+    }
+}
+
+fn body_field<'a>(lines: &[&'a str], key: &str) -> Result<&'a str, WireError> {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| WireError::new(format!("missing `{key}=` line")))
+}
+
+fn parse_sizes(text: &str) -> Result<Vec<u64>, WireError> {
+    text.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| WireError::new(format!("bad size `{s}`"))))
+        .collect()
+}
+
+fn emit_sizes(sizes: &[u64]) -> String {
+    sizes.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn parse_u64(text: &str, key: &str) -> Result<u64, WireError> {
+    text.parse().map_err(|_| WireError::new(format!("bad numeric `{key}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Serializes a request payload (the frame body).
+pub fn emit_request(req: &Request) -> String {
+    match req {
+        Request::Ping => format!("{RPC_VERSION} ping"),
+        Request::Shutdown => format!("{RPC_VERSION} shutdown"),
+        Request::Stats => format!("{RPC_VERSION} stats"),
+        Request::Evaluate { scope, points } => {
+            let mut out = format!(
+                "{RPC_VERSION} evaluate\nkernel={}\ngpu={}\nsizes={}\nprotocol={}",
+                scope.kernel,
+                persist::emit_gpu_spec(&scope.gpu),
+                emit_sizes(&scope.sizes),
+                persist::emit_protocol(&scope.protocol),
+            );
+            for p in points {
+                out.push_str("\np ");
+                out.push_str(&persist::emit_params(p));
+            }
+            out
+        }
+        Request::Simulate { kernel, gpu, n, params, model, trials, seed } => format!(
+            "{RPC_VERSION} simulate\nkernel={kernel}\ngpu={}\nn={n}\nmodel={}\ntrials={trials}\n\
+             seed={seed:016x}\nparams={}",
+            persist::emit_gpu_spec(gpu),
+            model.name(),
+            persist::emit_params(params),
+        ),
+    }
+}
+
+/// Parses one request payload.
+pub fn parse_request(payload: &str) -> Result<Request, WireError> {
+    let (verb, lines) = split_verb(payload)?;
+    let body: Vec<&str> = lines.collect();
+    match verb {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "stats" => Ok(Request::Stats),
+        "evaluate" => {
+            let scope = EvalScope {
+                kernel: body_field(&body, "kernel")?.to_string(),
+                gpu: persist::parse_gpu_spec(body_field(&body, "gpu")?)?,
+                sizes: parse_sizes(body_field(&body, "sizes")?)?,
+                protocol: persist::parse_protocol(body_field(&body, "protocol")?)?,
+            };
+            let points = body
+                .iter()
+                .filter_map(|l| l.strip_prefix("p "))
+                .map(persist::parse_params)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Evaluate { scope, points })
+        }
+        "simulate" => Ok(Request::Simulate {
+            kernel: body_field(&body, "kernel")?.to_string(),
+            gpu: persist::parse_gpu_spec(body_field(&body, "gpu")?)?,
+            n: parse_u64(body_field(&body, "n")?, "n")?,
+            params: persist::parse_params(body_field(&body, "params")?)?,
+            model: ModelId::parse(body_field(&body, "model")?)
+                .ok_or_else(|| WireError::new("unknown model id"))?,
+            trials: parse_u64(body_field(&body, "trials")?, "trials")? as u32,
+            seed: u64::from_str_radix(body_field(&body, "seed")?, 16)
+                .map_err(|_| WireError::new("bad seed"))?,
+        }),
+        other => Err(WireError::new(format!("unknown request verb `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn emit_disk(d: &persist::DiskStats) -> String {
+    format!(
+        "hits:{};misses:{};loaded:{};written:{};rejected:{}",
+        d.tier_hits, d.tier_misses, d.measurements_loaded, d.measurements_written, d.rejected
+    )
+}
+
+fn parse_disk(text: &str) -> Result<persist::DiskStats, WireError> {
+    let get = |key: &str| -> Result<u64, WireError> {
+        text.split(';')
+            .find_map(|f| f.strip_prefix(key).and_then(|r| r.strip_prefix(':')))
+            .ok_or_else(|| WireError::new(format!("missing disk field `{key}`")))
+            .and_then(|v| parse_u64(v, key))
+    };
+    Ok(persist::DiskStats {
+        tier_hits: get("hits")?,
+        tier_misses: get("misses")?,
+        measurements_loaded: get("loaded")?,
+        measurements_written: get("written")?,
+        rejected: get("rejected")?,
+    })
+}
+
+/// Serializes a response payload (the frame body).
+pub fn emit_response(resp: &Response) -> String {
+    match resp {
+        Response::Pong => format!("{RPC_VERSION} ok pong"),
+        Response::ShuttingDown => format!("{RPC_VERSION} ok shutdown"),
+        Response::Stats(s) => {
+            let mut out = format!(
+                "{RPC_VERSION} ok stats\nconnections={}\nrequests={}\npoints={}\nkernels={}\n\
+                 fe_tiers={}\nlowerings={}\nmeas_tiers={}\nunique={}\ncontexts={}",
+                s.connections,
+                s.requests,
+                s.points_served,
+                s.kernels,
+                s.front_end_tiers,
+                s.front_end_lowerings,
+                s.measurement_tiers,
+                s.unique_evaluations,
+                s.contexts,
+            );
+            if let Some(d) = &s.disk {
+                out.push_str("\ndisk=");
+                out.push_str(&emit_disk(d));
+            }
+            out
+        }
+        Response::Evaluate { computed, measurements } => {
+            let mut out = format!("{RPC_VERSION} ok evaluate\ncomputed={computed}");
+            for m in measurements {
+                out.push_str("\nm ");
+                out.push_str(&persist::emit_measurement(m));
+            }
+            out
+        }
+        Response::Simulate { selected, report } => format!(
+            "{RPC_VERSION} ok simulate\nselected={}\nr {}",
+            persist::emit_f64(*selected),
+            persist::emit_sim_report(report),
+        ),
+        Response::Error { message } => {
+            // Keep the message one line: newlines would masquerade as
+            // body fields of some other payload shape.
+            format!("{RPC_VERSION} error\nmsg={}", message.replace('\n', " "))
+        }
+    }
+}
+
+/// Parses one response payload.
+pub fn parse_response(payload: &str) -> Result<Response, WireError> {
+    let (verb, lines) = split_verb(payload)?;
+    let body: Vec<&str> = lines.collect();
+    match verb {
+        "error" => Ok(Response::Error { message: body_field(&body, "msg")?.to_string() }),
+        _ => {
+            let ok_verb = verb
+                .strip_prefix("ok ")
+                .ok_or_else(|| WireError::new(format!("unknown response verb `{verb}`")))?;
+            match ok_verb {
+                "pong" => Ok(Response::Pong),
+                "shutdown" => Ok(Response::ShuttingDown),
+                "stats" => {
+                    let num = |key: &str| body_field(&body, key).and_then(|v| parse_u64(v, key));
+                    Ok(Response::Stats(ServiceStats {
+                        connections: num("connections")?,
+                        requests: num("requests")?,
+                        points_served: num("points")?,
+                        kernels: num("kernels")?,
+                        front_end_tiers: num("fe_tiers")?,
+                        front_end_lowerings: num("lowerings")?,
+                        measurement_tiers: num("meas_tiers")?,
+                        unique_evaluations: num("unique")?,
+                        contexts: num("contexts")?,
+                        disk: match body_field(&body, "disk") {
+                            Ok(d) => Some(parse_disk(d)?),
+                            Err(_) => None,
+                        },
+                    }))
+                }
+                "evaluate" => {
+                    let computed = parse_u64(body_field(&body, "computed")?, "computed")?;
+                    let measurements = body
+                        .iter()
+                        .filter_map(|l| l.strip_prefix("m "))
+                        .map(persist::parse_measurement)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Response::Evaluate { computed, measurements })
+                }
+                "simulate" => Ok(Response::Simulate {
+                    selected: persist::parse_f64(body_field(&body, "selected")?)?,
+                    report: persist::parse_sim_report(
+                        body.iter()
+                            .find_map(|l| l.strip_prefix("r "))
+                            .ok_or_else(|| WireError::new("missing report record"))?,
+                    )?,
+                }),
+                other => Err(WireError::new(format!("unknown response verb `{other}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oriole_arch::Gpu;
+
+    fn scope() -> EvalScope {
+        EvalScope {
+            kernel: "atax".into(),
+            gpu: Gpu::K20.spec().clone(),
+            sizes: vec![64, 128],
+            protocol: EvalProtocol::default(),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Stats,
+            Request::Evaluate {
+                scope: scope(),
+                points: vec![
+                    TuningParams::with_geometry(128, 48),
+                    TuningParams::with_geometry(256, 96),
+                ],
+            },
+            Request::Simulate {
+                kernel: "bicg".into(),
+                gpu: Gpu::M40.spec().clone(),
+                n: 256,
+                params: TuningParams::with_geometry(512, 24),
+                model: ModelId::Roofline,
+                trials: 10,
+                seed: 0xdead_beef,
+            },
+        ];
+        for req in reqs {
+            assert_eq!(parse_request(&emit_request(&req)).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let m = Measurement {
+            params: TuningParams::with_geometry(128, 48),
+            time_ms: 1.0625e-3,
+            per_size_ms: vec![(64, 0.5e-3)],
+            feasible: true,
+            occupancy: 0.75,
+            regs_allocated: 24,
+            reg_instructions: 12.5,
+        };
+        let stats = ServiceStats {
+            connections: 3,
+            requests: 17,
+            points_served: 1280,
+            kernels: 2,
+            front_end_tiers: 2,
+            front_end_lowerings: 20,
+            measurement_tiers: 2,
+            unique_evaluations: 640,
+            contexts: 1,
+            disk: Some(persist::DiskStats {
+                tier_hits: 1,
+                tier_misses: 0,
+                measurements_loaded: 640,
+                measurements_written: 0,
+                rejected: 0,
+            }),
+        };
+        let resps = [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Stats(stats),
+            Response::Stats(ServiceStats::default()),
+            Response::Evaluate { computed: 2, measurements: vec![m.clone(), m] },
+            Response::Error { message: "unknown kernel `gemm`".into() },
+        ];
+        for resp in resps {
+            assert_eq!(parse_response(&emit_response(&resp)).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_response_round_trips_bit_identically() {
+        let gpu = Gpu::K20.spec();
+        let kernel = oriole_codegen::compile(
+            &oriole_kernels::KernelId::Atax.ast(128),
+            gpu,
+            TuningParams::with_geometry(128, 48),
+        )
+        .unwrap();
+        let report = oriole_sim::simulate(&kernel, 128).unwrap();
+        let resp = Response::Simulate { selected: 1.0e-3, report };
+        let rt = parse_response(&emit_response(&resp)).unwrap();
+        assert_eq!(rt, resp);
+    }
+
+    #[test]
+    fn version_skew_and_junk_are_rejected_with_names() {
+        let err = parse_request("oriole-rpc v99 ping").unwrap_err();
+        assert!(err.to_string().contains("version skew"), "{err}");
+        assert!(err.to_string().contains("oriole-rpc v1"), "{err}");
+        assert!(parse_request("GET / HTTP/1.1").is_err());
+        assert!(parse_request(&format!("{RPC_VERSION} frobnicate")).is_err());
+        assert!(parse_response(&format!("{RPC_VERSION} ok frobnicate")).is_err());
+        // A structurally broken evaluate: missing scope lines.
+        assert!(parse_request(&format!("{RPC_VERSION} evaluate\nkernel=atax")).is_err());
+    }
+
+    #[test]
+    fn error_messages_stay_single_line() {
+        let resp = Response::Error { message: "multi\nline".into() };
+        match parse_response(&emit_response(&resp)).unwrap() {
+            Response::Error { message } => assert_eq!(message, "multi line"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

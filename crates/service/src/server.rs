@@ -1,0 +1,319 @@
+//! The tuner daemon: a TCP accept loop serving the RPC protocol over
+//! one shared [`ArtifactStore`].
+//!
+//! # Concurrency model
+//!
+//! One worker thread per connection, all evaluating through the same
+//! process-level store. That makes the sharing rules exactly the
+//! in-process ones (PR 2–4): concurrent clients sweeping overlapping
+//! spaces share ASTs, front-ends, model contexts and measurement tiers,
+//! and the sharded in-flight-deduplicating memo guarantees each point
+//! is computed **once** no matter how many connections race on it —
+//! "single writer per scope" is structural, not a lock the clients must
+//! take. With a disk-backed store the daemon is the directory's one
+//! writing process, so the append-only spill discipline of
+//! [`oriole_tuner::persist`] holds fleet-wide.
+//!
+//! # Failure containment
+//!
+//! * A **malformed frame** (bad magic/length/checksum) poisons only its
+//!   connection: the worker answers with an error frame (best-effort)
+//!   and hangs up. The store is never touched with unvalidated input.
+//! * **Version skew** is answered with an error naming both versions,
+//!   then the connection closes.
+//! * A request that parses but names impossible values (unknown kernel,
+//!   infeasible scope) is a per-request error; the connection survives.
+//! * A client that **disconnects mid-request** costs only the response
+//!   write; the computed measurements stay in the store for the next
+//!   client (that's the point of the shared tier).
+//! * **Shutdown** (by RPC) stops accepting, then drains in-flight
+//!   evaluations before [`Server::run`] returns, so a daemon is never
+//!   killed out from under its own spill writes.
+
+use crate::protocol::{self, EvalScope, Request, Response, ServiceStats};
+use oriole_codegen::{compile, TuningParams};
+use oriole_kernels::KernelId;
+use oriole_sim::TrialProtocol;
+use oriole_tuner::persist::{read_frame, write_frame, FrameError};
+use oriole_tuner::ArtifactStore;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serving counters of one daemon run, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Tuning points served across all `evaluate` batches.
+    pub points_served: u64,
+}
+
+struct ServerState {
+    shutdown: AtomicBool,
+    /// Workers currently inside an `evaluate`/`simulate` body — the
+    /// drain gate shutdown waits on.
+    busy: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    points_served: AtomicU64,
+    /// Where the shutdown handler dials to pop the accept loop out of
+    /// its blocking `accept`: the listener's own address, with an
+    /// unspecified bind IP (`0.0.0.0`/`[::]`) rewritten to the
+    /// matching loopback — the wildcard is bindable, not dialable
+    /// everywhere.
+    wake_addr: SocketAddr,
+}
+
+/// A bound (but not yet serving) daemon. Binding and serving are split
+/// so callers can learn the actual address (`--addr 127.0.0.1:0` binds
+/// an ephemeral port) before the accept loop blocks.
+pub struct Server {
+    listener: TcpListener,
+    store: ArtifactStore,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener on `addr` over `store`. The store is the
+    /// daemon's one process-level artifact store: every connection
+    /// shares it for its whole lifetime.
+    pub fn bind(addr: &str, store: ArtifactStore) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let mut wake_addr = listener.local_addr()?;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let state = Arc::new(ServerState {
+            shutdown: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            points_served: AtomicU64::new(0),
+            wake_addr,
+        });
+        Ok(Server { listener, store, state })
+    }
+
+    /// The bound address (resolves `:0` to the real ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until a client sends `shutdown`, then
+    /// drains in-flight work and returns the serving counters.
+    ///
+    /// Each accepted connection gets its own worker thread; workers
+    /// exit when their client hangs up, so they are detached rather
+    /// than joined — only *busy* workers (inside an evaluate/simulate)
+    /// gate the drain.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let accept_error = loop {
+            // Blocking accept — zero connect latency for clients; the
+            // shutdown handler wakes it with a self-connection.
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // A dying listener still drains in-flight work below —
+                // the store must never be abandoned mid-spill.
+                Err(e) => break Some(e),
+            };
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                // `stream` may be a real client or the wake-up dial;
+                // either way nothing new is served past shutdown.
+                drop(stream);
+                break None;
+            }
+            self.state.connections.fetch_add(1, Ordering::Relaxed);
+            let store = self.store.clone();
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(stream, store, state));
+        };
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Drain: no new requests are admitted (workers increment `busy`
+        // *before* re-checking the shutdown flag, so this read cannot
+        // miss a request that saw the flag clear), and workers mid-
+        // evaluation finish (and spill) before we return — a
+        // disk-backed store is left with whole records only.
+        while self.state.busy.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(ServeSummary {
+                connections: self.state.connections.load(Ordering::Relaxed),
+                requests: self.state.requests.load(Ordering::Relaxed),
+                points_served: self.state.points_served.load(Ordering::Relaxed),
+            }),
+        }
+    }
+}
+
+/// Decrements the busy gauge on every exit path of a request body.
+struct BusyGuard<'a>(&'a AtomicUsize);
+
+impl<'a> BusyGuard<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> BusyGuard<'a> {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        BusyGuard(gauge)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: Arc<ServerState>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            // Clean close between frames, or dropped mid-frame: either
+            // way this connection is done; nothing shared is affected.
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
+            // Malformed framing: no resynchronization exists, so answer
+            // (best-effort) and hang up.
+            Err(e) => {
+                let resp = Response::Error { message: format!("malformed frame: {e}") };
+                let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
+                return;
+            }
+        };
+        // The busy guard is taken BEFORE the shutdown re-check: either
+        // this thread observes the flag clear — in which case the drain
+        // loop's `busy` read (which happens after the flag was set, in
+        // SeqCst order) sees the increment and waits for us — or it
+        // observes the flag set and refuses. A request can never slip
+        // between "shutdown flagged" and "drain complete".
+        let busy = BusyGuard::enter(&state.busy);
+        if state.shutdown.load(Ordering::SeqCst) {
+            // A connection lingering past shutdown is refused, not
+            // served: the daemon has already drained and its store may
+            // be about to go away with the process.
+            drop(busy);
+            let resp = Response::Error { message: "daemon is shutting down".to_string() };
+            let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
+            return;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, disconnect) = match protocol::parse_request(&payload) {
+            Ok(req) => dispatch(req, &store, &state),
+            // A frame that parsed but isn't a well-formed request:
+            // per-request error. Version skew additionally drops the
+            // connection — the peer will keep speaking the wrong
+            // dialect.
+            Err(e) => {
+                let msg = e.to_string();
+                let skew = msg.contains("version skew");
+                (Response::Error { message: msg }, skew)
+            }
+        };
+        let sent = write_frame(&mut stream, &protocol::emit_response(&response)).is_ok();
+        drop(busy);
+        if matches!(response, Response::ShuttingDown) {
+            // Flag only after the ack is on the wire, so the requester
+            // always hears back; then pop the accept loop out of its
+            // blocking accept with a throwaway self-connection.
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(state.wake_addr);
+            return;
+        }
+        if disconnect || !sent {
+            return;
+        }
+    }
+}
+
+fn dispatch(req: Request, store: &ArtifactStore, state: &ServerState) -> (Response, bool) {
+    match req {
+        Request::Ping => (Response::Pong, false),
+        Request::Shutdown => (Response::ShuttingDown, false),
+        Request::Stats => (Response::Stats(stats(store, state)), false),
+        Request::Evaluate { scope, points } => {
+            let resp = handle_evaluate(store, &scope, &points);
+            if matches!(resp, Response::Evaluate { .. }) {
+                state.points_served.fetch_add(points.len() as u64, Ordering::Relaxed);
+            }
+            (resp, false)
+        }
+        Request::Simulate { kernel, gpu, n, params, model, trials, seed } => {
+            (handle_simulate(store, &kernel, &gpu, n, params, model, trials, seed), false)
+        }
+    }
+}
+
+fn stats(store: &ArtifactStore, state: &ServerState) -> ServiceStats {
+    let s = store.stats();
+    ServiceStats {
+        connections: state.connections.load(Ordering::Relaxed),
+        requests: state.requests.load(Ordering::Relaxed),
+        points_served: state.points_served.load(Ordering::Relaxed),
+        kernels: s.kernels as u64,
+        front_end_tiers: s.front_end_tiers as u64,
+        front_end_lowerings: s.front_end_lowerings as u64,
+        measurement_tiers: s.measurement_tiers as u64,
+        unique_evaluations: s.unique_evaluations as u64,
+        contexts: s.contexts as u64,
+        disk: s.disk,
+    }
+}
+
+fn handle_evaluate(store: &ArtifactStore, scope: &EvalScope, points: &[TuningParams]) -> Response {
+    let Some(kid) = KernelId::parse(&scope.kernel) else {
+        return Response::Error { message: format!("unknown kernel `{}`", scope.kernel) };
+    };
+    if scope.sizes.is_empty() {
+        return Response::Error { message: "empty size list".to_string() };
+    }
+    let builder = move |n: u64| kid.ast(n);
+    let evaluator =
+        store.evaluator_with(kid.name(), &builder, &scope.gpu, &scope.sizes, scope.protocol);
+    // "Computed" is the measurement tier's fresh-computation delta over
+    // this request window (tier-wide: under racing clients a point is
+    // attributed to whichever window saw it; deterministically zero on
+    // a warm re-run).
+    let before = evaluator.unique_evaluations();
+    let measurements = evaluator.evaluate_batch(points);
+    let computed = (evaluator.unique_evaluations() - before) as u64;
+    Response::Evaluate {
+        computed,
+        measurements: measurements.iter().map(|m| (**m).clone()).collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_simulate(
+    store: &ArtifactStore,
+    kernel: &str,
+    gpu: &oriole_arch::GpuSpec,
+    n: u64,
+    params: TuningParams,
+    model: oriole_sim::ModelId,
+    trials: u32,
+    seed: u64,
+) -> Response {
+    let Some(kid) = KernelId::parse(kernel) else {
+        return Response::Error { message: format!("unknown kernel `{kernel}`") };
+    };
+    let compiled = match compile(&kid.ast(n), gpu, params) {
+        Ok(k) => k,
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    let ctx = store.context_for(gpu, model);
+    let report = match ctx.simulate(&compiled, n) {
+        Ok(r) => r,
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    let times = match ctx.measure(&compiled, n, trials, seed) {
+        Ok(t) => t,
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    Response::Simulate { selected: times.selected(TrialProtocol::FifthOfTen), report }
+}

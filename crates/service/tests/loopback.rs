@@ -1,0 +1,264 @@
+//! In-process loopback suite for the tuner service: a real TCP server
+//! thread, real framed RPC, against the same assertions the local
+//! engine is held to — remote results must be **bit-identical** to
+//! local evaluation, sharing must deduplicate across clients, and
+//! protocol abuse must poison nothing but the abusive connection.
+
+use oriole_arch::{Gpu, GpuSpec};
+use oriole_codegen::TuningParams;
+use oriole_kernels::KernelId;
+use oriole_service::{Client, EvalScope, RemoteEvaluator, Server, ServeSummary};
+use oriole_sim::ModelId;
+use oriole_tuner::persist::{read_frame, write_frame};
+use oriole_tuner::{
+    ArtifactStore, EvalProtocol, Evaluator, Measurement, RandomSearch, SearchSpace, Searcher,
+};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Spawns a daemon over `store` on an ephemeral port; returns its
+/// address and the join handle yielding the serve summary.
+fn spawn_server(store: ArtifactStore) -> (String, JoinHandle<ServeSummary>) {
+    let server = Server::bind("127.0.0.1:0", store).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn scope(kernel: &str, gpu: &GpuSpec, sizes: &[u64]) -> EvalScope {
+    EvalScope {
+        kernel: kernel.to_string(),
+        gpu: gpu.clone(),
+        sizes: sizes.to_vec(),
+        protocol: EvalProtocol::default(),
+    }
+}
+
+fn local_sweep(kid: KernelId, gpu: &GpuSpec, sizes: &[u64], space: &SearchSpace) -> Vec<Measurement> {
+    let builder = move |n: u64| kid.ast(n);
+    let ev = Evaluator::new(&builder, gpu, sizes);
+    ev.evaluate_space(space).iter().map(|m| (**m).clone()).collect()
+}
+
+#[test]
+fn remote_evaluation_is_bit_identical_to_local_and_dedups_across_clients() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::K20.spec();
+    let sizes = [64u64];
+    let local = local_sweep(KernelId::Atax, gpu, &sizes, &space);
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let sc = scope("atax", gpu, &sizes);
+
+    // Cold client: everything computed server-side, results identical
+    // to the local engine bit for bit.
+    let cold = Client::connect(&addr).expect("connect");
+    let (computed, remote) = cold.evaluate(&sc, &points).expect("evaluate");
+    assert_eq!(computed as usize, space.len());
+    assert_eq!(remote, local);
+    for (r, l) in remote.iter().zip(&local) {
+        assert_eq!(r.time_ms.to_bits(), l.time_ms.to_bits());
+    }
+
+    // Warm client on its own connection: served from the shared store,
+    // zero fresh computations.
+    let warm = Client::connect(&addr).expect("connect");
+    let (computed, again) = warm.evaluate(&sc, &points).expect("evaluate");
+    assert_eq!(computed, 0, "warm re-run must compute nothing");
+    assert_eq!(again, local);
+
+    let stats = warm.stats().expect("stats");
+    assert_eq!(stats.unique_evaluations as usize, space.len());
+    assert_eq!(stats.points_served as usize, 2 * space.len());
+    assert!(stats.connections >= 2);
+
+    warm.shutdown().expect("shutdown ack");
+    let summary = handle.join().expect("server thread");
+    assert!(summary.requests >= 4);
+    assert_eq!(summary.points_served as usize, 2 * space.len());
+}
+
+#[test]
+fn concurrent_clients_share_the_store_and_compute_each_point_once() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::M40.spec();
+    let sizes = [32u64, 64];
+    let local = local_sweep(KernelId::Bicg, gpu, &sizes, &space);
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let sc = Arc::new(scope("bicg", gpu, &sizes));
+
+    let results: Vec<Vec<Measurement>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let sc = Arc::clone(&sc);
+                let points = points.clone();
+                s.spawn(move || {
+                    let client = Client::connect(&addr).expect("connect");
+                    client.evaluate(&sc, &points).expect("evaluate").1
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for r in &results {
+        assert_eq!(r, &local, "every concurrent client sees the local numbers");
+    }
+
+    let client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.unique_evaluations as usize,
+        space.len(),
+        "racing clients must not duplicate computations"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn remote_oracle_runs_searchers_unchanged_with_identical_traces() {
+    let space = SearchSpace::tiny();
+    let gpu = Gpu::K20.spec();
+    let sizes = [64u64];
+
+    // Local reference search.
+    let kid = KernelId::Atax;
+    let builder = move |n: u64| kid.ast(n);
+    let ev = Evaluator::new(&builder, gpu, &sizes);
+    let local = RandomSearch { seed: 9 }.search(&space, &ev, 10);
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let client = Client::connect(&addr).expect("connect");
+    let remote = RemoteEvaluator::new(client, scope("atax", gpu, &sizes));
+    let result = RandomSearch { seed: 9 }.search(&space, &remote, 10);
+    assert_eq!(remote.take_error(), None, "no RPC failures");
+    assert_eq!(result, local, "remote search must replay the local trace bit-for-bit");
+    assert_eq!(remote.fetched(), 10, "one fetch per distinct sampled point");
+
+    // A second identical search is served from the client memo: no new
+    // fetches at all.
+    let again = RandomSearch { seed: 9 }.search(&space, &remote, 10);
+    assert_eq!(again, local);
+    assert_eq!(remote.fetched(), 10);
+
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn remote_simulate_matches_local_context() {
+    let gpu = Gpu::P100.spec();
+    let n = 128u64;
+    let params = TuningParams::with_geometry(256, 48);
+    let kernel = oriole_codegen::compile(&KernelId::MatVec2D.ast(n), gpu, params).unwrap();
+    let local_report = oriole_sim::simulate(&kernel, n).unwrap();
+    let local_trials = oriole_sim::measure(&kernel, n, 10, 42).unwrap();
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let client = Client::connect(&addr).expect("connect");
+    let (selected, report) = client
+        .simulate("matvec2d", gpu, n, params, ModelId::Simulator, 10, 42)
+        .expect("simulate");
+    assert_eq!(report, local_report);
+    assert_eq!(
+        selected.to_bits(),
+        local_trials.selected(oriole_sim::TrialProtocol::FifthOfTen).to_bits()
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn synthetic_devices_evaluate_remotely_by_spec_contents() {
+    // No registry entry exists for this device; the full spec crosses
+    // the wire and keys the server's store by contents.
+    let custom = GpuSpec { regfile_per_mp: 32_768, ..Gpu::K20.spec().clone() };
+    let sizes = [64u64];
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let local = local_sweep(KernelId::Atax, &custom, &sizes, &space);
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let client = Client::connect(&addr).expect("connect");
+    let (_, remote) = client.evaluate(&scope("atax", &custom, &sizes), &points).expect("evaluate");
+    assert_eq!(remote, local);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn protocol_abuse_poisons_nothing_but_its_own_connection() {
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+
+    // 1. Unknown kernel: per-request error, connection survives.
+    let client = Client::connect(&addr).expect("connect");
+    let err = client
+        .evaluate(&scope("gemm", Gpu::K20.spec(), &[64]), &[TuningParams::with_geometry(128, 48)])
+        .expect_err("unknown kernel");
+    assert!(err.to_string().contains("unknown kernel"), "{err}");
+    client.ping().expect("connection still usable after a request error");
+
+    // 2. Version skew: answered with an error naming both versions.
+    let mut raw = TcpStream::connect(&addr).expect("connect raw");
+    write_frame(&mut raw, "oriole-rpc v99 ping").expect("send");
+    let reply = read_frame(&mut raw).expect("reply");
+    assert!(reply.contains("version skew"), "{reply}");
+    assert!(reply.contains("oriole-rpc v1"), "{reply}");
+
+    // 3. A malformed frame (garbage bytes): the server answers with an
+    // error (best-effort) and hangs up.
+    let mut raw = TcpStream::connect(&addr).expect("connect raw");
+    use std::io::Write as _;
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("send garbage");
+    raw.flush().unwrap();
+    let reply = read_frame(&mut raw);
+    // Either an error frame or an immediate hangup is acceptable; what
+    // is not acceptable is the daemon dying or serving the garbage.
+    if let Ok(reply) = reply {
+        assert!(reply.contains("malformed frame"), "{reply}");
+    }
+
+    // 4. Disconnect mid-session: just drop a connected client.
+    drop(Client::connect(&addr).expect("connect"));
+
+    // After all of the above, an honest client still gets bit-identical
+    // service.
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let local = local_sweep(KernelId::Atax, Gpu::K20.spec(), &[64], &space);
+    let honest = Client::connect(&addr).expect("connect");
+    let (_, remote) =
+        honest.evaluate(&scope("atax", Gpu::K20.spec(), &[64]), &points).expect("evaluate");
+    assert_eq!(remote, local, "the store survived the abuse untouched");
+
+    honest.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn rpc_failure_latches_instead_of_returning_garbage() {
+    // A daemon that has shut down mid-search: the remote oracle scores
+    // infinity and surfaces the failure through take_error.
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let client = Client::connect(&addr).expect("connect");
+    let remote = RemoteEvaluator::new(client, scope("atax", Gpu::K20.spec(), &[64]));
+    let p = TuningParams::with_geometry(128, 48);
+    assert!(remote.evaluate(p).is_some(), "daemon up: point evaluates");
+
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    // Daemon gone; an uncached point cannot be fetched.
+    let q = TuningParams::with_geometry(256, 48);
+    use oriole_tuner::Oracle as _;
+    assert_eq!(remote.eval(q), f64::INFINITY);
+    let err = remote.take_error().expect("failure latched");
+    assert!(!err.is_empty());
+    // Everything after the latch short-circuits, including cached
+    // points — a poisoned run never mixes stale and fresh answers.
+    assert!(remote.evaluate(p).is_none());
+}

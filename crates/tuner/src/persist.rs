@@ -121,7 +121,10 @@ pub fn unseal(line: &str) -> Option<&str> {
 pub struct WireError(String);
 
 impl WireError {
-    fn new(msg: impl Into<String>) -> WireError {
+    /// A malformed-value error naming the offending field — public so
+    /// layers composing this vocabulary into larger messages (the RPC
+    /// protocol of `oriole_service`) report errors in one shape.
+    pub fn new(msg: impl Into<String>) -> WireError {
         WireError(msg.into())
     }
 }
@@ -796,6 +799,119 @@ pub(crate) fn open_tier(dir: &Path, scope: &str, counters: &Arc<DiskCounters>) -
 }
 
 // ---------------------------------------------------------------------------
+// Length-framed transport
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every wire frame (`ORLF` — "oriole frame").
+pub const FRAME_MAGIC: [u8; 4] = *b"ORLF";
+
+/// Upper bound on a single frame's payload. A full 5,120-point evaluate
+/// batch with per-size records is well under 2 MiB; anything near this
+/// bound is a corrupted length field, not a legitimate payload.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Why one [`read_frame`] call produced no payload.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly *between* frames (zero
+    /// bytes where the next magic would start) — the normal end of a
+    /// session, not an error condition.
+    Eof,
+    /// An I/O failure, including a connection dropped *mid*-frame.
+    Io(std::io::Error),
+    /// The stream did not start with [`FRAME_MAGIC`] — not speaking
+    /// this protocol, or desynchronized beyond recovery.
+    BadMagic([u8; 4]),
+    /// The announced length exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+    /// The payload failed its FNV-1a checksum: corrupted in flight.
+    BadChecksum,
+    /// The payload is not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte bound")
+            }
+            FrameError::BadChecksum => write!(f, "frame payload failed its checksum"),
+            FrameError::BadUtf8 => write!(f, "frame payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one length-framed, checksummed frame:
+/// `ORLF | len: u32 BE | fnv64(payload): u64 BE | payload bytes`.
+///
+/// The single buffered `write_all` keeps frames contiguous even when
+/// several threads share one stream behind a mutex.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    let mut buf = Vec::with_capacity(16 + bytes.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&checksum(bytes).to_be_bytes());
+    buf.extend_from_slice(bytes);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+fn read_exact_or(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection dropped mid-frame",
+            ))
+        } else {
+            FrameError::Io(e)
+        }
+    })
+}
+
+/// Reads exactly one [`write_frame`] frame, verifying magic, length
+/// bound and checksum. A clean close before the first magic byte is
+/// [`FrameError::Eof`]; everything else that isn't a verified payload is
+/// an error the caller must treat as a poisoned stream (framing offers
+/// no resynchronization).
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<String, FrameError> {
+    let mut magic = [0u8; 4];
+    // Distinguish "closed between frames" from "dropped mid-frame": read
+    // the first byte separately.
+    match r.read(&mut magic[..1]) {
+        Ok(0) => return Err(FrameError::Eof),
+        Ok(_) => {}
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    read_exact_or(r, &mut magic[1..])?;
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let mut len = [0u8; 4];
+    read_exact_or(r, &mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut crc = [0u8; 8];
+    read_exact_or(r, &mut crc)?;
+    let crc = u64::from_be_bytes(crc);
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload)?;
+    if checksum(&payload) != crc {
+        return Err(FrameError::BadChecksum);
+    }
+    String::from_utf8(payload).map_err(|_| FrameError::BadUtf8)
+}
+
+// ---------------------------------------------------------------------------
 // Store maintenance: scan, verify, gc
 // ---------------------------------------------------------------------------
 
@@ -906,13 +1022,25 @@ pub struct GcReport {
 /// compacts usable ones that carry rejected record lines (rewriting
 /// header + surviving records). Never touches healthy files.
 pub fn gc_store(dir: &Path) -> std::io::Result<GcReport> {
+    gc_pass(dir, true)
+}
+
+/// Computes what [`gc_store`] *would* do — identical report, zero disk
+/// writes (the CLI's `store gc --dry-run`).
+pub fn plan_gc(dir: &Path) -> std::io::Result<GcReport> {
+    gc_pass(dir, false)
+}
+
+fn gc_pass(dir: &Path, apply: bool) -> std::io::Result<GcReport> {
     let mut report = GcReport::default();
     for path in tier_files(dir)? {
         let before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         match read_tier(&path) {
             TierRead::Absent => {}
             TierRead::VersionSkew | TierRead::Corrupt => {
-                std::fs::remove_file(&path)?;
+                if apply {
+                    std::fs::remove_file(&path)?;
+                }
                 report.removed_files += 1;
                 report.bytes_reclaimed += before;
             }
@@ -931,13 +1059,15 @@ pub fn gc_store(dir: &Path) -> std::io::Result<GcReport> {
                 for m in &measurements {
                     content.push_str(&record_line(m));
                 }
-                // Write-then-rename so compaction is atomic: a crash
-                // mid-gc leaves the original (still mostly usable) file
-                // intact instead of a truncated one that would discard
-                // every good record.
-                let tmp = path.with_extension("orl.tmp");
-                std::fs::write(&tmp, &content)?;
-                std::fs::rename(&tmp, &path)?;
+                if apply {
+                    // Write-then-rename so compaction is atomic: a crash
+                    // mid-gc leaves the original (still mostly usable)
+                    // file intact instead of a truncated one that would
+                    // discard every good record.
+                    let tmp = path.with_extension("orl.tmp");
+                    std::fs::write(&tmp, &content)?;
+                    std::fs::rename(&tmp, &path)?;
+                }
                 report.compacted_files += 1;
                 report.dropped_records += rejected;
                 let after = content.len() as u64;
@@ -1151,6 +1281,68 @@ mod tests {
         assert!(opened.spill.is_none(), "foreign scope must not be overwritten");
         let planted = std::fs::read_to_string(dir.join(tier_file_name(&scope_b))).unwrap();
         assert!(planted.contains("kernel=atax"), "planted file untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_damage() {
+        let payload = format!("oriole-rpc v1 evaluate\nm {}", emit_measurement(&sample_measurement()));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        assert_eq!(read_frame(&mut cursor).unwrap(), "second");
+        // Clean close between frames is Eof, not an error.
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+
+        // A flipped payload byte fails the checksum.
+        let mut tampered = buf.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        let mut cursor = &tampered[16 + payload.len()..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::BadChecksum)));
+
+        // Wrong magic and oversized length are rejected up front.
+        let mut cursor: &[u8] = b"JUNKxxxxxxxxxxxxxxxx";
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::BadMagic(_))));
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&FRAME_MAGIC);
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        huge.extend_from_slice(&[0u8; 8]);
+        let mut cursor = &huge[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge(_))));
+
+        // A connection dropped mid-frame is an I/O error, not Eof.
+        let mut cursor = &buf[..7];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn plan_gc_reports_without_touching_disk() {
+        let dir = temp_dir("plan-gc");
+        let scope = scope_text("atax", Gpu::K20.spec(), &[64], &EvalProtocol::default());
+        let counters = Arc::new(DiskCounters::default());
+        open_tier(&dir, &scope, &counters).spill.unwrap().append(&sample_measurement());
+        let path = dir.join(tier_file_name(&scope));
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, content.replacen("tc:256", "tc:999", 1)).unwrap();
+        std::fs::write(dir.join("meas-0000000000000000.orl"), "not a tier file").unwrap();
+
+        let before: Vec<_> = tier_files(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.clone(), std::fs::read(&p).unwrap()))
+            .collect();
+        let plan = plan_gc(&dir).unwrap();
+        assert_eq!((plan.removed_files, plan.compacted_files, plan.dropped_records), (1, 1, 1));
+        // Dry run: every byte of every file untouched.
+        for (p, bytes) in &before {
+            assert_eq!(&std::fs::read(p).unwrap(), bytes, "{}", p.display());
+        }
+        // The real gc reports the identical numbers and then repairs.
+        assert_eq!(gc_store(&dir).unwrap(), plan);
+        assert_eq!(plan_gc(&dir).unwrap(), GcReport::default());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

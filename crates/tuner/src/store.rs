@@ -146,7 +146,21 @@ impl ArtifactStore {
     /// [module docs](self) and [`crate::persist`].
     pub fn with_disk(dir: impl AsRef<Path>) -> std::io::Result<ArtifactStore> {
         let dir = dir.as_ref().to_path_buf();
+        // Fail loudly and precisely up front instead of degrading to a
+        // silently memory-only tier (or a confusing create_dir_all
+        // error): a path that exists but is not a directory can never
+        // become a store, and a directory we cannot enumerate could
+        // never serve its artifacts.
+        if dir.exists() && !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("`{}` exists and is not a directory", dir.display()),
+            ));
+        }
         std::fs::create_dir_all(&dir)?;
+        std::fs::read_dir(&dir).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("store dir `{}` is not readable: {e}", dir.display()))
+        })?;
         let store = ArtifactStore::new();
         let handle = DiskHandle { dir, counters: Arc::new(persist::DiskCounters::default()) };
         let _ = store.inner.disk.set(handle);
@@ -449,6 +463,24 @@ mod tests {
         assert_eq!(wd.measurements_loaded as usize, space.len());
         assert_eq!((wd.tier_hits, wd.rejected), (1, 0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_disk_rejects_files_and_unreadable_paths() {
+        // An existing regular file can never be a store directory: a
+        // clear error, not a panic and not a silent memory-only store.
+        let file = std::env::temp_dir()
+            .join(format!("oriole-store-unit-{}-notadir", std::process::id()));
+        std::fs::write(&file, "plain file").unwrap();
+        let err = ArtifactStore::with_disk(&file).expect_err("file is not a dir");
+        assert!(err.to_string().contains("not a directory"), "{err}");
+        // The file itself is untouched.
+        assert_eq!(std::fs::read_to_string(&file).unwrap(), "plain file");
+
+        // A path nested under a regular file is unusable too.
+        let nested = file.join("sub");
+        assert!(ArtifactStore::with_disk(&nested).is_err());
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

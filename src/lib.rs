@@ -18,11 +18,16 @@
 //!   parameter suggestion).
 //! * [`tuner`] — the autotuning framework (search algorithms, ranking,
 //!   statistics) with the new static-analysis search module.
+//! * [`service`] — the sharded tuner service: a daemon exposing the
+//!   evaluation engine (and its shared, optionally disk-backed
+//!   `ArtifactStore`) to concurrent remote clients over a framed RPC
+//!   protocol, plus the `RemoteEvaluator` oracle facade.
 
 pub use oriole_arch as arch;
 pub use oriole_codegen as codegen;
 pub use oriole_core as core;
 pub use oriole_ir as ir;
 pub use oriole_kernels as kernels;
+pub use oriole_service as service;
 pub use oriole_sim as sim;
 pub use oriole_tuner as tuner;

@@ -7,9 +7,11 @@ use oriole::arch::Gpu;
 use oriole::codegen::{compile, TuningParams};
 use oriole::core::analyze;
 use oriole::kernels::KernelId;
+use oriole::service::{Client, EvalScope, RemoteEvaluator, Server};
 use oriole::sim::measure;
 use oriole::tuner::{
-    AnnealingSearch, Evaluator, GeneticSearch, RandomSearch, SearchSpace, Searcher,
+    AnnealingSearch, ArtifactStore, EvalProtocol, Evaluator, GeneticSearch, Oracle, RandomSearch,
+    SearchResult, SearchSpace, Searcher,
 };
 
 #[test]
@@ -108,4 +110,70 @@ fn stochastic_searchers_replay_exactly() {
         GeneticSearch { seed: 5, population: 6, ..Default::default() }.search(&space, &ev, 12)
     };
     assert_eq!(run_genetic(), run_genetic());
+}
+
+/// One run of every seeded stochastic strategy against `oracle`.
+fn seeded_runs(space: &SearchSpace, oracle: &dyn Oracle, seed: u64) -> Vec<SearchResult> {
+    vec![
+        RandomSearch { seed }.search(space, oracle, 8),
+        AnnealingSearch { seed, ..Default::default() }.search(space, oracle, 10),
+        GeneticSearch { seed, population: 6, ..Default::default() }.search(space, oracle, 12),
+    ]
+}
+
+#[test]
+fn seeded_searchers_trace_identically_per_seed() {
+    // Same seed ⇒ the *entire trace* — every queried point and value,
+    // in query order — replays identically; a different seed visibly
+    // changes it. This is the replayability contract the service's
+    // remote oracle (and `tests/replay.rs`) stand on.
+    let kid = KernelId::Atax;
+    let sizes = [32u64];
+    let builder = move |n: u64| kid.ast(n);
+    let space = SearchSpace::paper_default();
+    let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+
+    let first = seeded_runs(&space, &ev, 7);
+    let replayed = seeded_runs(&space, &ev, 7);
+    for (a, b) in first.iter().zip(&replayed) {
+        assert_eq!(a, b, "same seed must replay the identical trace");
+        assert!(!a.trace.is_empty());
+    }
+    let reseeded = seeded_runs(&space, &ev, 8);
+    for (a, c) in first.iter().zip(&reseeded) {
+        assert_ne!(a.trace, c.trace, "a different seed must explore differently");
+    }
+}
+
+#[test]
+fn seeded_searchers_trace_identically_through_the_service() {
+    // The same seeded searches, one oracle local and one behind a real
+    // daemon: traces (points, values, order) must be bit-identical —
+    // the property that lets a remote client replay and validate a
+    // search log computed anywhere else.
+    let kid = KernelId::Atax;
+    let sizes = [32u64];
+    let builder = move |n: u64| kid.ast(n);
+    let space = SearchSpace::paper_default();
+    let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    let local = seeded_runs(&space, &ev, 11);
+
+    let server = Server::bind("127.0.0.1:0", ArtifactStore::new()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let remote = RemoteEvaluator::new(
+        Client::connect(&addr).expect("connect"),
+        EvalScope {
+            kernel: "atax".to_string(),
+            gpu: Gpu::K20.spec().clone(),
+            sizes: sizes.to_vec(),
+            protocol: EvalProtocol::default(),
+        },
+    );
+    let remoted = seeded_runs(&space, &remote, 11);
+    assert_eq!(remote.take_error(), None);
+    assert_eq!(remoted, local, "remote traces must replay the local ones bit-for-bit");
+
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("server thread");
 }
