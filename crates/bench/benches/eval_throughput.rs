@@ -31,7 +31,7 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use oriole_arch::Gpu;
 use oriole_codegen::{compile, TuningParams};
 use oriole_kernels::KernelId;
-use oriole_service::{Client, EvalScope, Server};
+use oriole_service::{Client, EvalScope, ServeConfig, Server};
 use oriole_sim::{dynamic_mix, measure, TrialProtocol};
 use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, SearchSpace};
 use std::path::PathBuf;
@@ -255,6 +255,38 @@ fn bench_eval_throughput(c: &mut Criterion) {
         .evaluate(&scope, &points)
         .expect("warm the daemon store");
     g.bench_function("service/warm_shared_clients", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let client = Client::connect(&addr).expect("connect");
+                            client.evaluate(&scope, &points).expect("evaluate").1.len()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client thread")).sum::<usize>()
+            })
+        })
+    });
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    server_handle.join().expect("server thread");
+
+    // `service/warm_gated_clients`: the same multi-tenant warm sweep
+    // through a deliberately serialized admission gate
+    // (`max_inflight: 1`). Against `warm_shared_clients` it prices the
+    // fault-hardening layer itself: the condvar slot hand-off every
+    // request now passes through, at its worst-case contention.
+    let gated = ServeConfig { max_inflight: 1, ..ServeConfig::default() };
+    let server = Server::bind_with("127.0.0.1:0", ArtifactStore::new(), gated)
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server_handle = std::thread::spawn(move || server.run().expect("serve"));
+    Client::connect(&addr)
+        .expect("connect")
+        .evaluate(&scope, &points)
+        .expect("warm the daemon store");
+    g.bench_function("service/warm_gated_clients", |b| {
         b.iter(|| {
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..CLIENTS)

@@ -8,7 +8,9 @@ use oriole_codegen::{compile, CompilerFlags, PreferredL1, TuningParams};
 use oriole_core::predict::predict_time_with;
 use oriole_core::{analyze_in, report, suggest};
 use oriole_kernels::KernelId;
-use oriole_service::{Client, EvalScope, RemoteEvaluator, Server, ServiceStats};
+use oriole_service::{
+    Client, EvalScope, RemoteEvaluator, RetryPolicy, ServeConfig, Server, ServiceStats,
+};
 use oriole_sim::{ModelId, TrialProtocol};
 use oriole_tuner::{
     measurements_csv, parse_spec, replay, AnnealingSearch, ArtifactStore, EvalProtocol, EvalStats,
@@ -94,9 +96,14 @@ commands:
                                          a persistent artifact store
                                          (gc honors --dry-run: report only)
   serve     [--addr 127.0.0.1:7733] [--store-dir DIR]
+            [--workers N] [--max-inflight N]
+            [--request-timeout MS] [--idle-timeout MS]
                                          run the tuner daemon: one shared
                                          artifact store served to remote
-                                         clients until `service shutdown`
+                                         clients until `service shutdown`;
+                                         saturation answers `busy` (shed,
+                                         never hung) and idle connections
+                                         are reaped
   service   {ping|stats|shutdown} --remote ADDR
                                          probe / inspect / stop a daemon
 
@@ -115,7 +122,10 @@ remote flag (tune/simulate): --remote ADDR
             in-process: concurrent clients share the daemon's store
             (front-ends, contexts, measurements) and results are
             bit-identical to local evaluation. Mutually exclusive with
-            --store-dir — the daemon owns the store.
+            --store-dir — the daemon owns the store. Deadline/retry
+            knobs: --rpc-timeout MS (per-exchange deadline, default
+            10000) and --retries N (transparent retry of idempotent
+            verbs with backoff + jitter, default 4; 0 = fail fast).
 tune flags: --budget B --sizes 32,64,... --spec FILE --seed N --csv
             --stats (print cache telemetry: active timing model, unique
             evaluations, lowerings, disk loads/spills, occupancy/mix/
@@ -260,7 +270,7 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
     // format is bit-exact, so both paths print identical text.
     let (r, selected) = match remote_addr(args)? {
         Some(addr) => {
-            let client = connect(addr)?;
+            let client = connect(addr, args)?;
             let (selected, report) = client
                 .simulate(kernel_id.name(), gpu.spec(), n, params, model, trials, seed)
                 .map_err(|e| e.to_string())?;
@@ -311,8 +321,24 @@ fn remote_addr(args: &Args) -> Result<Option<&str>, String> {
     }
 }
 
-fn connect(addr: &str) -> Result<Client, String> {
-    Client::connect(addr)
+/// The client-side fault policy flags shared by every remote command:
+/// `--rpc-timeout MS` bounds each exchange (socket deadline, also
+/// declared to the daemon so it can shed work it cannot start in
+/// time), `--retries N` caps the transparent retry of idempotent verbs
+/// (0 = fail fast).
+fn retry_policy(args: &Args) -> Result<RetryPolicy, String> {
+    let default = RetryPolicy::default();
+    Ok(RetryPolicy {
+        rpc_timeout: std::time::Duration::from_millis(
+            args.num_or("rpc-timeout", default.rpc_timeout.as_millis() as u64)?,
+        ),
+        max_retries: args.num_or("retries", default.max_retries)?,
+        ..default
+    })
+}
+
+fn connect(addr: &str, args: &Args) -> Result<Client, String> {
+    Client::connect_with(addr, retry_policy(args)?)
         .map_err(|e| format!("cannot reach daemon at `{addr}`: {e} (is `oriole serve` running?)"))
 }
 
@@ -361,7 +387,7 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     let backend = match remote_addr(args)? {
         Some(addr) => Backend::Remote {
             remote: RemoteEvaluator::new(
-                connect(addr)?,
+                connect(addr, args)?,
                 EvalScope {
                     kernel: kernel_id.name().to_string(),
                     gpu: gpu.spec().clone(),
@@ -540,6 +566,11 @@ fn render_remote_stats(remote: &RemoteEvaluator, addr: &str, s: &ServiceStats) -
     );
     let _ = writeln!(
         out,
+        "  pool: {}/{} worker(s) busy, {} shed busy, {} reaped idle",
+        s.workers_busy, s.workers_max, s.shed_busy, s.reaped_idle
+    );
+    let _ = writeln!(
+        out,
         "  store: {} kernel(s), {} front-end tier(s) ({} lowerings), {} measurement tier(s), \
          {} unique evaluations, {} context(s)",
         s.kernels,
@@ -581,7 +612,23 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         ),
         None => (ArtifactStore::new(), "memory-only store".to_string()),
     };
-    let server = Server::bind(addr, store).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let default = ServeConfig::default();
+    let cfg = ServeConfig {
+        workers: args.num_or("workers", default.workers)?,
+        max_inflight: args.num_or("max-inflight", default.max_inflight)?,
+        request_timeout: std::time::Duration::from_millis(
+            args.num_or("request-timeout", default.request_timeout.as_millis() as u64)?,
+        ),
+        idle_timeout: std::time::Duration::from_millis(
+            args.num_or("idle-timeout", default.idle_timeout.as_millis() as u64)?,
+        ),
+        ..default
+    };
+    if cfg.workers == 0 || cfg.max_inflight == 0 {
+        return Err("--workers and --max-inflight must be at least 1".to_string());
+    }
+    let server =
+        Server::bind_with(addr, store, cfg).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
     let actual = server.local_addr().map_err(|e| e.to_string())?;
     // The banner goes out *before* the accept loop blocks (explicitly
     // flushed: under a pipe, stdout is block-buffered and a waiting
@@ -589,13 +636,27 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     {
         use std::io::Write as _;
         let mut stdout = std::io::stdout();
-        let _ = writeln!(stdout, "oriole serve: listening on {actual} ({store_note})");
+        let _ = writeln!(
+            stdout,
+            "oriole serve: listening on {actual} ({store_note}; {} worker(s), {} in-flight, \
+             request timeout {}ms, idle timeout {}ms)",
+            cfg.workers,
+            cfg.max_inflight,
+            cfg.request_timeout.as_millis(),
+            cfg.idle_timeout.as_millis()
+        );
         let _ = stdout.flush();
     }
     let summary = server.run().map_err(|e| e.to_string())?;
     Ok(format!(
-        "oriole serve: shut down after {} connection(s), {} request(s), {} point(s) served\n",
-        summary.connections, summary.requests, summary.points_served
+        "oriole serve: shut down after {} connection(s), {} request(s), {} point(s) served, \
+         {} shed busy, {} reaped idle ({})\n",
+        summary.connections,
+        summary.requests,
+        summary.points_served,
+        summary.shed_busy,
+        summary.reaped_idle,
+        if summary.drained { "drained clean" } else { "drain deadline hit" }
     ))
 }
 
@@ -609,7 +670,7 @@ fn cmd_service(argv: &[String]) -> Result<String, String> {
     };
     let args = Args::parse(&argv[1..])?;
     let addr = args.required("remote")?;
-    let client = connect(addr)?;
+    let client = connect(addr, &args)?;
     match action.as_str() {
         "ping" => {
             client.ping().map_err(|e| e.to_string())?;
@@ -623,6 +684,11 @@ fn cmd_service(argv: &[String]) -> Result<String, String> {
                 out,
                 "  served: {} connection(s), {} request(s), {} point(s)",
                 s.connections, s.requests, s.points_served
+            );
+            let _ = writeln!(
+                out,
+                "  pool: {}/{} worker(s) busy, {} shed busy, {} reaped idle",
+                s.workers_busy, s.workers_max, s.shed_busy, s.reaped_idle
             );
             let _ = writeln!(
                 out,
@@ -1191,6 +1257,59 @@ mod tests {
         assert_eq!(remote, local);
         assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
         handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn serve_rejects_zero_pool_bounds() {
+        for line in [
+            "serve --addr 127.0.0.1:0 --workers 0",
+            "serve --addr 127.0.0.1:0 --max-inflight 0",
+        ] {
+            let err = call(line).unwrap_err();
+            assert!(err.contains("at least 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn service_stats_reports_pool_counters() {
+        let (addr, handle) = spawn_daemon();
+        let svc = call(&format!("service stats --remote {addr}")).unwrap();
+        assert!(svc.contains("pool:"), "{svc}");
+        assert!(svc.contains("worker(s) busy"), "{svc}");
+        assert!(svc.contains("shed busy"), "{svc}");
+        assert!(svc.contains("reaped idle"), "{svc}");
+
+        // The remote --stats block of a tune reports the same counters.
+        let stats = call(&format!(
+            "tune --kernel atax --gpu k20 --strategy random --budget 2 --sizes 32 \
+             --stats --remote {addr}"
+        ))
+        .unwrap();
+        assert!(stats.contains("pool:"), "{stats}");
+
+        assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn remote_commands_accept_deadline_and_retry_flags() {
+        let (addr, handle) = spawn_daemon();
+        let local = call("simulate --kernel atax --gpu k20 --n 64").unwrap();
+        let remote = call(&format!(
+            "simulate --kernel atax --gpu k20 --n 64 --remote {addr} \
+             --rpc-timeout 5000 --retries 2"
+        ))
+        .unwrap();
+        assert_eq!(remote, local, "policy flags must not change results");
+        assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
+        handle.join().expect("server thread");
+
+        // Fail-fast against a dead daemon stays a clean error.
+        let err = call(
+            "simulate --kernel atax --gpu k20 --n 64 --remote 127.0.0.1:9 --retries 0",
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot reach daemon"), "{err}");
     }
 
     #[test]

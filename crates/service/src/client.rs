@@ -10,12 +10,38 @@
 //! network. Because evaluation is deterministic and the wire format is
 //! bit-exact, a remote search produces the *identical trace* a local
 //! one does.
+//!
+//! # Fault handling
+//!
+//! Every RPC runs under a deadline ([`RetryPolicy::rpc_timeout`] set as
+//! the socket read/write timeout), so no call can block forever on a
+//! dead or wedged daemon. Transient failures — connection loss, a
+//! damaged frame, an expired deadline, a [`Response::Busy`]
+//! backpressure answer — are retried with exponential backoff and
+//! jitter, reconnecting as needed, up to [`RetryPolicy::max_retries`]
+//! times.
+//!
+//! **Why retrying is safe** (the idempotency argument): the retried
+//! verbs — `ping`, `stats`, `evaluate`, `simulate` — are all
+//! *deterministic reads* of state the daemon either already holds or
+//! computes reproducibly. Evaluation is deterministic and the shared
+//! [`ArtifactStore`](oriole_tuner::ArtifactStore) deduplicates points,
+//! so replaying an `evaluate` whose response was lost re-serves the
+//! memoized measurements, bit-identical, without recomputing or
+//! double-counting anything. The one verb with a side effect —
+//! `shutdown` — is **never** auto-retried.
+//!
+//! After any failed or half-completed exchange the connection is
+//! **poisoned** (dropped and re-dialed before the next use), so a
+//! response to an abandoned request can never be mislabeled as the
+//! answer to a later one — the frame layer has no request IDs, and
+//! poisoning is what makes that safe.
 
 use crate::protocol::{self, EvalScope, Request, Response, ServiceStats};
 use oriole_arch::GpuSpec;
 use oriole_codegen::TuningParams;
 use oriole_sim::{ModelId, SimReport};
-use oriole_tuner::persist::{read_frame, write_frame, FrameError};
+use oriole_tuner::persist::{classify_frame_io, read_frame, write_frame, FrameError};
 use oriole_tuner::{Measurement, Oracle};
 use std::collections::HashMap;
 use std::fmt;
@@ -37,6 +63,10 @@ pub enum ServiceError {
     /// The daemon answered with an error (its message included —
     /// unknown kernel, infeasible request, version skew, …).
     Remote(String),
+    /// The daemon shed the request with backpressure and the retry
+    /// policy is exhausted; carries the daemon's last `retry_after_ms`
+    /// hint.
+    Busy(u64),
 }
 
 impl fmt::Display for ServiceError {
@@ -46,6 +76,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Frame(e) => write!(f, "service frame error: {e}"),
             ServiceError::Protocol(m) => write!(f, "service protocol error: {m}"),
             ServiceError::Remote(m) => write!(f, "daemon error: {m}"),
+            ServiceError::Busy(ms) => {
+                write!(f, "daemon busy: retries exhausted (daemon suggested retry in {ms}ms)")
+            }
         }
     }
 }
@@ -64,32 +97,172 @@ impl From<FrameError> for ServiceError {
     }
 }
 
-/// One connection to a tuner daemon. All methods are `&self` (the
-/// stream sits behind a mutex), and each issues exactly one
-/// request/response exchange.
+impl ServiceError {
+    /// Whether retrying can possibly change the answer. Transport
+    /// failures and backpressure are transient; a daemon-side error or
+    /// a malformed exchange is deterministic and retrying would only
+    /// repeat it.
+    fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Io(_) | ServiceError::Frame(_) | ServiceError::Busy(_)
+        )
+    }
+}
+
+/// Deadline and retry configuration for one [`Client`].
+///
+/// Backoff is exponential from [`RetryPolicy::base_backoff`], capped at
+/// [`RetryPolicy::max_backoff`], with deterministic jitter (seeded by
+/// [`RetryPolicy::jitter_seed`]) in the upper half of each step so a
+/// fleet of shed clients does not re-stampede the daemon in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = fail fast).
+    /// Only *transient* failures (I/O, frame damage, deadline expiry,
+    /// `Busy` backpressure) are retried, and never for `shutdown`.
+    pub max_retries: u32,
+    /// First backoff step.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Socket read/write deadline on every exchange; also declared to
+    /// the daemon in `evaluate` so it can shed work it cannot start in
+    /// time. [`Duration::ZERO`] means no deadline (not recommended
+    /// outside tests).
+    pub rpc_timeout: Duration,
+    /// Seed of the deterministic jitter stream (vary per client so
+    /// backoffs decorrelate; keep fixed in tests for stability).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            rpc_timeout: Duration::from_secs(10),
+            jitter_seed: 0x6f72696f6c65, // "oriole"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and keeps the default deadline —
+    /// the pre-hardening fail-fast behaviour, for tests that assert on
+    /// first-failure semantics.
+    pub fn fail_fast() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based):
+    /// exponential, capped, jittered into the upper half of the step.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_millis() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_backoff.as_millis() as u64).max(1);
+        // xorshift64* over (seed, attempt): deterministic, no clock or
+        // RNG dependency, stable under test.
+        let mut x = self.jitter_seed ^ (u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15));
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jittered = capped / 2 + x % (capped / 2 + 1);
+        Duration::from_millis(jittered)
+    }
+
+    /// The deadline to declare in an `evaluate` request (milliseconds;
+    /// 0 = none declared).
+    fn deadline_ms(&self) -> u64 {
+        self.rpc_timeout.as_millis() as u64
+    }
+
+    fn socket_timeout(&self) -> Option<Duration> {
+        if self.rpc_timeout.is_zero() {
+            None
+        } else {
+            Some(self.rpc_timeout)
+        }
+    }
+}
+
+/// One session with a tuner daemon. All methods are `&self` (the
+/// stream sits behind a mutex), and each issues one request/response
+/// exchange — transparently reconnecting and retrying transient
+/// failures per the session's [`RetryPolicy`].
 pub struct Client {
-    stream: Mutex<TcpStream>,
+    /// `None` = poisoned (or never dialed): the next exchange
+    /// re-connects. Poisoning after any failed exchange is what keeps
+    /// request/response pairing sound without wire-level request IDs.
+    stream: Mutex<Option<TcpStream>>,
     addr: String,
+    policy: RetryPolicy,
+    retries: AtomicU64,
 }
 
 impl Client {
-    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:7733`).
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:7733`) with the
+    /// default [`RetryPolicy`]. Fails fast if the daemon is not there —
+    /// retry loops around the *initial* dial belong to
+    /// [`Client::connect_retry`].
     pub fn connect(addr: &str) -> Result<Client, ServiceError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Client { stream: Mutex::new(stream), addr: addr.to_string() })
+        Client::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// [`Client::connect`] under an explicit policy.
+    pub fn connect_with(addr: &str, policy: RetryPolicy) -> Result<Client, ServiceError> {
+        let stream = dial(addr, &policy)?;
+        Ok(Client {
+            stream: Mutex::new(Some(stream)),
+            addr: addr.to_string(),
+            policy,
+            retries: AtomicU64::new(0),
+        })
     }
 
     /// [`Client::connect`] retried until `timeout` elapses — the
     /// "daemon was just spawned" path (CI smoke jobs, tests, scripts).
+    /// Sleeps the policy's backoff schedule between dials and returns
+    /// the **last error observed within the window** — the standing
+    /// cause when time ran out, not whatever a straggling post-deadline
+    /// dial happened to produce.
     pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Client, ServiceError> {
+        Client::connect_retry_with(addr, timeout, RetryPolicy::default())
+    }
+
+    /// [`Client::connect_retry`] under an explicit policy.
+    pub fn connect_retry_with(
+        addr: &str,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<Client, ServiceError> {
         let start = Instant::now();
+        let mut attempt: u32 = 0;
+        let mut last_err: Option<ServiceError> = None;
         loop {
-            match Client::connect(addr) {
+            let within_window = start.elapsed() < timeout;
+            match Client::connect_with(addr, policy) {
                 Ok(c) => return Ok(c),
-                Err(e) if start.elapsed() >= timeout => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                Err(e) => {
+                    // Record the error only if its dial *started* inside
+                    // the window; an attempt straddling the deadline
+                    // must not replace the standing cause with a
+                    // possibly different late failure.
+                    if within_window || last_err.is_none() {
+                        last_err = Some(e);
+                    }
+                }
             }
+            if start.elapsed() >= timeout {
+                return Err(last_err.expect("at least one dial attempted"));
+            }
+            attempt += 1;
+            let nap = policy.backoff(attempt).min(timeout.saturating_sub(start.elapsed()));
+            std::thread::sleep(nap);
         }
     }
 
@@ -98,15 +271,87 @@ impl Client {
         &self.addr
     }
 
-    fn call(&self, req: &Request) -> Result<Response, ServiceError> {
-        let mut stream = self.stream.lock().expect("client stream lock");
-        write_frame(&mut *stream, &protocol::emit_request(req))?;
-        let payload = read_frame(&mut *stream)?;
-        match protocol::parse_response(&payload) {
-            Ok(Response::Error { message }) => Err(ServiceError::Remote(message)),
-            Ok(resp) => Ok(resp),
-            Err(e) => Err(ServiceError::Protocol(e.to_string())),
+    /// The session's deadline/retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Exchanges retried so far over this session's lifetime (transient
+    /// failures that healed; an exhausted policy surfaces as the final
+    /// error instead).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// One request/response exchange on the (re)connected stream.
+    /// Any failure — or a `Busy` answer — poisons the stream: the
+    /// daemon's conn-level shed closes the socket, and after a desynced
+    /// exchange a stale in-flight response could otherwise be
+    /// mislabeled as the answer to the next request.
+    fn exchange(&self, req: &Request) -> Result<Response, ServiceError> {
+        let mut slot = self.stream.lock().expect("client stream lock");
+        if slot.is_none() {
+            *slot = Some(dial(&self.addr, &self.policy)?);
         }
+        let stream = slot.as_mut().expect("stream just ensured");
+        let result = (|| -> Result<Response, ServiceError> {
+            write_frame(stream, &protocol::emit_request(req))
+                .map_err(|e| classify_frame_error(classify_frame_io(e)))?;
+            let payload = read_frame(stream).map_err(classify_frame_error)?;
+            protocol::parse_response(&payload).map_err(|e| ServiceError::Protocol(e.to_string()))
+        })();
+        match &result {
+            Ok(Response::Busy { .. }) | Err(_) => *slot = None,
+            Ok(_) => {}
+        }
+        match result {
+            // A wire-level error frame is a *completed* exchange: the
+            // stream stays in sync and the connection is kept.
+            Ok(Response::Error { message }) => Err(ServiceError::Remote(message)),
+            other => other,
+        }
+    }
+
+    /// Issues `req`, retrying transient failures (reconnect + backoff)
+    /// per the policy. `retryable` is false for the one verb with a
+    /// side effect (`shutdown`).
+    fn call_with_retry(
+        &self,
+        req: &Request,
+        retryable: bool,
+    ) -> Result<Response, ServiceError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = match self.exchange(req) {
+                Ok(Response::Busy { retry_after_ms }) => Err(ServiceError::Busy(retry_after_ms)),
+                other => other,
+            };
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if !retryable || !e.is_transient() || attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let mut nap = self.policy.backoff(attempt);
+                    if let ServiceError::Busy(hint_ms) = e {
+                        // Honor the daemon's own hint when it is the
+                        // longer wait — it knows its queue better.
+                        nap = nap.max(Duration::from_millis(hint_ms));
+                    }
+                    std::thread::sleep(nap);
+                }
+            }
+        }
+    }
+
+    fn call(&self, req: &Request) -> Result<Response, ServiceError> {
+        // shutdown is the one verb with a side effect; everything else
+        // is a deterministic read (see the module-level idempotency
+        // argument) and safe to replay.
+        let retryable = !matches!(req, Request::Shutdown);
+        self.call_with_retry(req, retryable)
     }
 
     /// Liveness probe.
@@ -127,6 +372,8 @@ impl Client {
 
     /// Asks the daemon to drain and exit. Returns once the shutdown is
     /// acknowledged (the daemon may still be draining in-flight work).
+    /// Never auto-retried: a lost ack does not prove the daemon missed
+    /// the request, and replaying could stop a freshly restarted one.
     pub fn shutdown(&self) -> Result<(), ServiceError> {
         match self.call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
@@ -137,13 +384,18 @@ impl Client {
     /// Evaluates a batch of points under `scope`. Returns the
     /// fresh-computation count of this request window and one
     /// measurement per point, in request order, bit-identical to local
-    /// evaluation.
+    /// evaluation. Declares the session deadline so the daemon can shed
+    /// work it cannot start in time.
     pub fn evaluate(
         &self,
         scope: &EvalScope,
         points: &[TuningParams],
     ) -> Result<(u64, Vec<Measurement>), ServiceError> {
-        let req = Request::Evaluate { scope: scope.clone(), points: points.to_vec() };
+        let req = Request::Evaluate {
+            scope: scope.clone(),
+            points: points.to_vec(),
+            deadline_ms: self.policy.deadline_ms(),
+        };
         match self.call(&req)? {
             Response::Evaluate { computed, measurements } => {
                 if measurements.len() != points.len() {
@@ -199,17 +451,41 @@ impl Client {
     }
 }
 
+/// Dials `addr` and arms the per-exchange socket deadlines.
+fn dial(addr: &str, policy: &RetryPolicy) -> Result<TcpStream, ServiceError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(policy.socket_timeout()).ok();
+    stream.set_write_timeout(policy.socket_timeout()).ok();
+    Ok(stream)
+}
+
+/// Maps frame-layer failures into [`ServiceError`], folding transport
+/// I/O back into the Io class so retry classification sees one kind of
+/// connection failure.
+fn classify_frame_error(e: FrameError) -> ServiceError {
+    match e {
+        FrameError::Io(io) => ServiceError::Io(io),
+        other => ServiceError::Frame(other),
+    }
+}
+
 impl fmt::Debug for Client {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Client").field("addr", &self.addr).finish()
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("policy", &self.policy)
+            .finish()
     }
 }
 
 /// A remote [`Oracle`]: one experiment scope evaluated through a daemon,
 /// with a client-side memo so revisits never re-cross the network.
 ///
-/// The oracle contract has no error channel, so an RPC failure
-/// mid-search is **latched**: the failing point scores
+/// Transient RPC failures are healed by the [`Client`]'s retry policy
+/// underneath; an error surfaces here only once that policy is
+/// exhausted. The oracle contract has no error channel, so such a
+/// *final* failure is **latched**: the failing point scores
 /// `f64::INFINITY`, every later query short-circuits the same way, and
 /// the driver must check [`RemoteEvaluator::take_error`] after the
 /// search — a lost daemon aborts the run loudly instead of silently
@@ -285,7 +561,8 @@ impl RemoteEvaluator {
     }
 
     /// Evaluates a batch: one RPC for the cache misses, everything else
-    /// from the memo. Results in input order, `None` on RPC failure.
+    /// from the memo. Results in input order, `None` on (final, policy-
+    /// exhausted) RPC failure.
     pub fn evaluate_batch(&self, points: &[TuningParams]) -> Option<Vec<Measurement>> {
         if self.poisoned.load(Ordering::SeqCst) {
             return None;
@@ -338,5 +615,48 @@ impl fmt::Debug for RemoteEvaluator {
             .field("kernel", &self.scope.kernel)
             .field("fetched", &self.fetched())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered_into_the_upper_half() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            rpc_timeout: Duration::from_secs(1),
+            jitter_seed: 7,
+        };
+        let mut prev_cap = 0u128;
+        for attempt in 1..=8u32 {
+            let cap = (25u128 << (attempt - 1)).min(400);
+            let b = p.backoff(attempt).as_millis();
+            assert!(b >= cap / 2, "attempt {attempt}: {b}ms below half-cap {cap}");
+            assert!(b <= cap, "attempt {attempt}: {b}ms above cap {cap}");
+            assert!(cap >= prev_cap, "caps must be monotone");
+            prev_cap = cap;
+        }
+        // Deterministic: same policy, same attempt, same nap.
+        assert_eq!(p.backoff(3), p.backoff(3));
+    }
+
+    #[test]
+    fn zero_base_backoff_means_no_sleeping() {
+        let p = RetryPolicy { base_backoff: Duration::ZERO, ..RetryPolicy::default() };
+        assert_eq!(p.backoff(1), Duration::ZERO);
+        assert_eq!(p.backoff(7), Duration::ZERO);
+    }
+
+    #[test]
+    fn transient_classification_splits_retryable_from_deterministic_failures() {
+        assert!(ServiceError::Io(std::io::Error::other("x")).is_transient());
+        assert!(ServiceError::Frame(FrameError::TimedOut).is_transient());
+        assert!(ServiceError::Busy(25).is_transient());
+        assert!(!ServiceError::Remote("unknown kernel".into()).is_transient());
+        assert!(!ServiceError::Protocol("short response".into()).is_transient());
     }
 }

@@ -18,21 +18,39 @@
 //!   IEEE-754 bits, so remote results are **bit-identical** to local
 //!   evaluation. Payloads travel in length-framed, checksummed frames
 //!   ([`oriole_tuner::persist::write_frame`]).
-//! * [`server`] — the daemon: a blocking accept loop (woken for
-//!   shutdown by a self-connection) handing each connection to a
-//!   worker thread. All workers evaluate through the
-//!   one shared store, whose sharded in-flight-deduplicating tiers make
-//!   "single writer per scope" automatic inside the process: two
-//!   clients racing on one point compute it once. Malformed frames and
-//!   version skew are rejected without poisoning the store; a client
-//!   disconnecting mid-request costs only its own response. Shutdown
-//!   (by RPC) drains in-flight evaluations before the listener exits,
-//!   so a daemon with a `--store-dir` never tears its own spill lines.
+//! * [`server`] — the daemon: a polled accept loop handing each
+//!   connection to a **bounded** worker pool; connections past the
+//!   bound — and requests that cannot get an in-flight slot within
+//!   their deadline — are shed with an explicit
+//!   [`Response::Busy`](protocol::Response::Busy) instead of a hung
+//!   socket, idle connections are reaped by per-connection read/write
+//!   deadlines, and per-connection quotas keep any one client from
+//!   monopolizing the pool ([`ServeConfig`]). All workers evaluate
+//!   through the one shared store, whose sharded
+//!   in-flight-deduplicating tiers make "single writer per scope"
+//!   automatic inside the process: two clients racing on one point
+//!   compute it once. Malformed frames and version skew are rejected
+//!   without poisoning the store; a client disconnecting mid-request
+//!   costs only its own response. Shutdown (by RPC) drains in-flight
+//!   evaluations on a condvar with a hard deadline before the listener
+//!   exits, so a daemon with a `--store-dir` never tears its own spill
+//!   lines.
 //! * [`client`] — the client library: a [`Client`] speaking the
-//!   protocol and a [`RemoteEvaluator`] facade implementing
+//!   protocol under a [`RetryPolicy`] — a deadline on every exchange,
+//!   automatic reconnect and retry with exponential backoff + jitter
+//!   for the idempotent verbs (evaluation is deterministic and the
+//!   store dedups, so replaying is always bit-identically safe) — and
+//!   a [`RemoteEvaluator`] facade implementing
 //!   [`oriole_tuner::Oracle`], so every existing search strategy runs
 //!   unchanged against a daemon — `RandomSearch`, `GeneticSearch`,
-//!   hybrid search with replay validation, all of them.
+//!   hybrid search with replay validation, all of them. A *final*
+//!   (policy-exhausted) failure latches: the run aborts loudly, never
+//!   silently returns garbage winners.
+//! * [`chaos`] — fault injection: a [`ChaosProxy`] that delays,
+//!   corrupts, truncates and drops proxied frames on a configurable
+//!   [`ChaosPlan`], backing the acceptance suite that proves every
+//!   injected failure either heals (bit-identical final trace) or
+//!   aborts loudly, with no unbounded blocking anywhere.
 //!
 //! The one discipline the daemon cannot check: a store *directory* must
 //! have a single writing process. Run exactly one daemon per
@@ -41,10 +59,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, RemoteEvaluator, ServiceError};
+pub use chaos::{ChaosPlan, ChaosProxy, FaultSpec};
+pub use client::{Client, RemoteEvaluator, RetryPolicy, ServiceError};
 pub use protocol::{EvalScope, Request, Response, ServiceStats, RPC_VERSION};
-pub use server::{Server, ServeSummary};
+pub use server::{ServeConfig, ServeSummary, Server};

@@ -23,8 +23,11 @@ use oriole_tuner::persist::{self, WireError};
 use oriole_tuner::{EvalProtocol, Measurement};
 
 /// The protocol version this build speaks; the first token pair of
-/// every payload.
-pub const RPC_VERSION: &str = "oriole-rpc v1";
+/// every payload. v2 added request deadlines on `evaluate`, the `busy`
+/// backpressure response and the pool/quota counters in `stats` —
+/// mixed-version peers are rejected by the existing skew machinery
+/// (the error names both versions).
+pub const RPC_VERSION: &str = "oriole-rpc v2";
 
 /// The experiment scope of an `evaluate` batch: exactly the
 /// measurement-tier key of the daemon's store, so two clients that
@@ -60,6 +63,12 @@ pub enum Request {
         scope: EvalScope,
         /// Points to evaluate.
         points: Vec<TuningParams>,
+        /// The client's remaining patience in milliseconds (0 = none
+        /// declared). A saturated daemon waits for a worker slot at
+        /// most this long before shedding the request with
+        /// [`Response::Busy`] — work it could no longer answer in time
+        /// is never started.
+        deadline_ms: u64,
     },
     /// Compile + simulate one variant; the response carries the
     /// [`SimReport`] plus the selected trial time.
@@ -105,6 +114,17 @@ pub struct ServiceStats {
     pub unique_evaluations: u64,
     /// `(device, model)` contexts.
     pub contexts: u64,
+    /// Requests currently inside an `evaluate`/`simulate` body.
+    pub workers_busy: u64,
+    /// The admission bound on concurrent `evaluate`/`simulate` bodies
+    /// (the daemon's `--max-inflight`).
+    pub workers_max: u64,
+    /// Requests and connections shed with [`Response::Busy`] because
+    /// the pool was saturated or a quota was exhausted.
+    pub shed_busy: u64,
+    /// Connections reaped because they sat idle (or trickled a frame)
+    /// past the daemon's read deadline.
+    pub reaped_idle: u64,
     /// Disk-tier counters; `None` when the daemon's store is
     /// memory-only.
     pub disk: Option<persist::DiskStats>,
@@ -136,6 +156,15 @@ pub enum Response {
         selected: f64,
         /// The full simulation report.
         report: SimReport,
+    },
+    /// Admission control: the daemon is saturated (worker pool full, a
+    /// request deadline unservable, or a per-connection quota
+    /// exhausted) and shed this request instead of parking it on a
+    /// hung socket. Evaluation is deterministic and the store dedups,
+    /// so the client may safely retry after backing off.
+    Busy {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
     },
     /// The request could not be served; the connection stays usable
     /// unless the error names a version skew or malformed frame.
@@ -199,9 +228,9 @@ pub fn emit_request(req: &Request) -> String {
         Request::Ping => format!("{RPC_VERSION} ping"),
         Request::Shutdown => format!("{RPC_VERSION} shutdown"),
         Request::Stats => format!("{RPC_VERSION} stats"),
-        Request::Evaluate { scope, points } => {
+        Request::Evaluate { scope, points, deadline_ms } => {
             let mut out = format!(
-                "{RPC_VERSION} evaluate\nkernel={}\ngpu={}\nsizes={}\nprotocol={}",
+                "{RPC_VERSION} evaluate\nkernel={}\ngpu={}\nsizes={}\nprotocol={}\ndeadline={deadline_ms}",
                 scope.kernel,
                 persist::emit_gpu_spec(&scope.gpu),
                 emit_sizes(&scope.sizes),
@@ -243,7 +272,13 @@ pub fn parse_request(payload: &str) -> Result<Request, WireError> {
                 .filter_map(|l| l.strip_prefix("p "))
                 .map(persist::parse_params)
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::Evaluate { scope, points })
+            // Absent deadline parses as "none declared" so a minimal
+            // hand-written v2 payload stays valid.
+            let deadline_ms = match body_field(&body, "deadline") {
+                Ok(v) => parse_u64(v, "deadline")?,
+                Err(_) => 0,
+            };
+            Ok(Request::Evaluate { scope, points, deadline_ms })
         }
         "simulate" => Ok(Request::Simulate {
             kernel: body_field(&body, "kernel")?.to_string(),
@@ -292,10 +327,14 @@ pub fn emit_response(resp: &Response) -> String {
     match resp {
         Response::Pong => format!("{RPC_VERSION} ok pong"),
         Response::ShuttingDown => format!("{RPC_VERSION} ok shutdown"),
+        Response::Busy { retry_after_ms } => {
+            format!("{RPC_VERSION} busy\nretry_after_ms={retry_after_ms}")
+        }
         Response::Stats(s) => {
             let mut out = format!(
                 "{RPC_VERSION} ok stats\nconnections={}\nrequests={}\npoints={}\nkernels={}\n\
-                 fe_tiers={}\nlowerings={}\nmeas_tiers={}\nunique={}\ncontexts={}",
+                 fe_tiers={}\nlowerings={}\nmeas_tiers={}\nunique={}\ncontexts={}\nbusy={}\n\
+                 wmax={}\nshed={}\nreaped={}",
                 s.connections,
                 s.requests,
                 s.points_served,
@@ -305,6 +344,10 @@ pub fn emit_response(resp: &Response) -> String {
                 s.measurement_tiers,
                 s.unique_evaluations,
                 s.contexts,
+                s.workers_busy,
+                s.workers_max,
+                s.shed_busy,
+                s.reaped_idle,
             );
             if let Some(d) = &s.disk {
                 out.push_str("\ndisk=");
@@ -339,6 +382,9 @@ pub fn parse_response(payload: &str) -> Result<Response, WireError> {
     let body: Vec<&str> = lines.collect();
     match verb {
         "error" => Ok(Response::Error { message: body_field(&body, "msg")?.to_string() }),
+        "busy" => Ok(Response::Busy {
+            retry_after_ms: parse_u64(body_field(&body, "retry_after_ms")?, "retry_after_ms")?,
+        }),
         _ => {
             let ok_verb = verb
                 .strip_prefix("ok ")
@@ -358,6 +404,10 @@ pub fn parse_response(payload: &str) -> Result<Response, WireError> {
                         measurement_tiers: num("meas_tiers")?,
                         unique_evaluations: num("unique")?,
                         contexts: num("contexts")?,
+                        workers_busy: num("busy")?,
+                        workers_max: num("wmax")?,
+                        shed_busy: num("shed")?,
+                        reaped_idle: num("reaped")?,
                         disk: match body_field(&body, "disk") {
                             Ok(d) => Some(parse_disk(d)?),
                             Err(_) => None,
@@ -413,6 +463,7 @@ mod tests {
                     TuningParams::with_geometry(128, 48),
                     TuningParams::with_geometry(256, 96),
                 ],
+                deadline_ms: 2_500,
             },
             Request::Simulate {
                 kernel: "bicg".into(),
@@ -426,6 +477,27 @@ mod tests {
         ];
         for req in reqs {
             assert_eq!(parse_request(&emit_request(&req)).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn evaluate_without_a_deadline_line_parses_as_no_deadline() {
+        let emitted = emit_request(&Request::Evaluate {
+            scope: scope(),
+            points: vec![TuningParams::with_geometry(128, 48)],
+            deadline_ms: 9_999,
+        });
+        let stripped: String = emitted
+            .lines()
+            .filter(|l| !l.starts_with("deadline="))
+            .collect::<Vec<_>>()
+            .join("\n");
+        match parse_request(&stripped).unwrap() {
+            Request::Evaluate { deadline_ms, points, .. } => {
+                assert_eq!(deadline_ms, 0);
+                assert_eq!(points.len(), 1);
+            }
+            other => panic!("{other:?}"),
         }
     }
 
@@ -450,6 +522,10 @@ mod tests {
             measurement_tiers: 2,
             unique_evaluations: 640,
             contexts: 1,
+            workers_busy: 3,
+            workers_max: 16,
+            shed_busy: 5,
+            reaped_idle: 2,
             disk: Some(persist::DiskStats {
                 tier_hits: 1,
                 tier_misses: 0,
@@ -464,6 +540,7 @@ mod tests {
             Response::Stats(stats),
             Response::Stats(ServiceStats::default()),
             Response::Evaluate { computed: 2, measurements: vec![m.clone(), m] },
+            Response::Busy { retry_after_ms: 25 },
             Response::Error { message: "unknown kernel `gemm`".into() },
         ];
         for resp in resps {
@@ -490,7 +567,11 @@ mod tests {
     fn version_skew_and_junk_are_rejected_with_names() {
         let err = parse_request("oriole-rpc v99 ping").unwrap_err();
         assert!(err.to_string().contains("version skew"), "{err}");
-        assert!(err.to_string().contains("oriole-rpc v1"), "{err}");
+        assert!(err.to_string().contains(RPC_VERSION), "{err}");
+        // The deadline field is new in v2: a v1 peer is skew, named as
+        // such, not silently tolerated.
+        let err = parse_request("oriole-rpc v1 ping").unwrap_err();
+        assert!(err.to_string().contains("version skew"), "{err}");
         assert!(parse_request("GET / HTTP/1.1").is_err());
         assert!(parse_request(&format!("{RPC_VERSION} frobnicate")).is_err());
         assert!(parse_response(&format!("{RPC_VERSION} ok frobnicate")).is_err());

@@ -3,16 +3,43 @@
 //!
 //! # Concurrency model
 //!
-//! One worker thread per connection, all evaluating through the same
-//! process-level store. That makes the sharing rules exactly the
-//! in-process ones (PR 2–4): concurrent clients sweeping overlapping
-//! spaces share ASTs, front-ends, model contexts and measurement tiers,
-//! and the sharded in-flight-deduplicating memo guarantees each point
-//! is computed **once** no matter how many connections race on it —
-//! "single writer per scope" is structural, not a lock the clients must
-//! take. With a disk-backed store the daemon is the directory's one
-//! writing process, so the append-only spill discipline of
-//! [`oriole_tuner::persist`] holds fleet-wide.
+//! A **bounded** worker pool: each accepted connection gets a worker
+//! thread, but only up to [`ServeConfig::workers`] of them — a
+//! connection past the bound is answered with [`Response::Busy`] and
+//! closed instead of parking in an unbounded thread herd. Inside the
+//! pool a second gate bounds the requests concurrently inside an
+//! `evaluate`/`simulate` body ([`ServeConfig::max_inflight`]): a
+//! request that cannot get a slot within its declared deadline (or the
+//! server's own [`ServeConfig::request_timeout`]) is shed with `Busy`,
+//! never queued invisibly on a hung socket.
+//!
+//! All admitted workers evaluate through the same process-level store,
+//! so the sharing rules are exactly the in-process ones (PR 2–4):
+//! concurrent clients sweeping overlapping spaces share ASTs,
+//! front-ends, model contexts and measurement tiers, and the sharded
+//! in-flight-deduplicating memo guarantees each point is computed
+//! **once** no matter how many connections race on it — "single writer
+//! per scope" is structural, not a lock the clients must take. With a
+//! disk-backed store the daemon is the directory's one writing process,
+//! so the append-only spill discipline of [`oriole_tuner::persist`]
+//! holds fleet-wide.
+//!
+//! # Deadlines everywhere
+//!
+//! Every blocking socket operation carries a deadline:
+//!
+//! * reads run under [`ServeConfig::idle_timeout`] — an idle client (or
+//!   one trickling a frame byte-at-a-time) is **reaped**, its worker
+//!   slot reclaimed, instead of leaking a parked thread;
+//! * writes run under [`ServeConfig::write_timeout`] — a client that
+//!   stops reading its own responses loses the connection, not a
+//!   daemon thread;
+//! * the accept loop never blocks indefinitely: it polls a
+//!   non-blocking listener, so shutdown is observed within the poll
+//!   interval even if the shutdown wake-up dial fails;
+//! * shutdown drains in-flight work on a condvar with a hard deadline
+//!   ([`ServeConfig::drain_timeout`]) — a wedged evaluation cannot keep
+//!   the daemon alive forever.
 //!
 //! # Failure containment
 //!
@@ -22,10 +49,14 @@
 //! * **Version skew** is answered with an error naming both versions,
 //!   then the connection closes.
 //! * A request that parses but names impossible values (unknown kernel,
-//!   infeasible scope) is a per-request error; the connection survives.
+//!   infeasible scope, a batch over the point quota) is a per-request
+//!   error; the connection survives.
 //! * A client that **disconnects mid-request** costs only the response
 //!   write; the computed measurements stay in the store for the next
 //!   client (that's the point of the shared tier).
+//! * **Saturation** is an explicit [`Response::Busy`] with a retry
+//!   hint — evaluation is deterministic and the store dedups, so a
+//!   shed client retries for free.
 //! * **Shutdown** (by RPC) stops accepting, then drains in-flight
 //!   evaluations before [`Server::run`] returns, so a daemon is never
 //!   killed out from under its own spill writes.
@@ -38,8 +69,61 @@ use oriole_tuner::persist::{read_frame, write_frame, FrameError};
 use oriole_tuner::ArtifactStore;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one daemon run. [`ServeConfig::default`] is sized
+/// for a localhost fleet of tuner clients; every bound exists so that
+/// no failure mode — slow client, silent client, flood of clients —
+/// can park a daemon thread forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum concurrent connections (worker threads). A connection
+    /// past the bound is answered [`Response::Busy`] and closed.
+    pub workers: usize,
+    /// Maximum requests concurrently inside an `evaluate`/`simulate`
+    /// body. Excess requests wait for a slot up to their deadline,
+    /// then are shed with [`Response::Busy`].
+    pub max_inflight: usize,
+    /// The server-side cap on how long a request may wait for an
+    /// inflight slot (a client's `deadline_ms` can only shorten it).
+    pub request_timeout: Duration,
+    /// Per-connection read deadline: a connection idle (or trickling a
+    /// frame) past this is reaped and its worker slot reclaimed.
+    pub idle_timeout: Duration,
+    /// Per-connection write deadline: a client that stops reading its
+    /// responses loses the connection after this long.
+    pub write_timeout: Duration,
+    /// Hard deadline on the shutdown drain: busy workers get this long
+    /// to finish (and spill) before [`Server::run`] returns anyway.
+    pub drain_timeout: Duration,
+    /// The `retry_after_ms` hint carried in [`Response::Busy`].
+    pub busy_retry_ms: u64,
+    /// Per-request point quota: an `evaluate` batch larger than this is
+    /// a per-request error (retrying cannot help, so it is not `Busy`).
+    pub max_points_per_request: usize,
+    /// Per-connection request quota (0 = unlimited): a connection that
+    /// exhausts it is answered `Busy` and recycled, so one client
+    /// cannot hold a worker slot forever — reconnecting re-enters the
+    /// admission gate.
+    pub max_requests_per_conn: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 64,
+            max_inflight: 16,
+            request_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(30),
+            busy_retry_ms: 25,
+            max_points_per_request: 100_000,
+            max_requests_per_conn: 0,
+        }
+    }
+}
 
 /// Serving counters of one daemon run, returned by [`Server::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,27 +134,112 @@ pub struct ServeSummary {
     pub requests: u64,
     /// Tuning points served across all `evaluate` batches.
     pub points_served: u64,
+    /// Requests and connections shed with [`Response::Busy`].
+    pub shed_busy: u64,
+    /// Connections reaped for idling past the read deadline.
+    pub reaped_idle: u64,
+    /// Whether the shutdown drain completed before its hard deadline
+    /// (`false` means a worker was still evaluating when the deadline
+    /// forced the exit).
+    pub drained: bool,
+}
+
+/// The admission gate on concurrent `evaluate`/`simulate` bodies: a
+/// condvar-guarded slot counter. Acquisition waits — bounded by the
+/// caller's deadline — for a slot; the same condvar serves the
+/// shutdown drain (wait for zero) with its own hard deadline.
+struct InflightGate {
+    slots: Mutex<usize>,
+    changed: Condvar,
+    cap: usize,
+}
+
+impl InflightGate {
+    fn new(cap: usize) -> InflightGate {
+        InflightGate { slots: Mutex::new(0), changed: Condvar::new(), cap: cap.max(1) }
+    }
+
+    /// Waits up to `deadline` for a free slot; `false` means the
+    /// request must be shed.
+    fn acquire(&self, deadline: Duration) -> bool {
+        let mut used = self.slots.lock().expect("inflight gate lock");
+        let end = Instant::now() + deadline;
+        while *used >= self.cap {
+            let now = Instant::now();
+            if now >= end {
+                return false;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(used, end - now)
+                .expect("inflight gate wait");
+            used = guard;
+        }
+        *used += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut used = self.slots.lock().expect("inflight gate lock");
+        *used = used.saturating_sub(1);
+        drop(used);
+        self.changed.notify_all();
+    }
+
+    fn busy(&self) -> usize {
+        *self.slots.lock().expect("inflight gate lock")
+    }
+
+    /// The shutdown drain: waits until no request is inside an
+    /// `evaluate`/`simulate` body, or the hard deadline passes.
+    /// Returns whether the drain completed clean.
+    fn drain(&self, hard_deadline: Duration) -> bool {
+        let mut used = self.slots.lock().expect("inflight gate lock");
+        let end = Instant::now() + hard_deadline;
+        while *used > 0 {
+            let now = Instant::now();
+            if now >= end {
+                return false;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(used, end - now)
+                .expect("inflight gate wait");
+            used = guard;
+        }
+        true
+    }
 }
 
 struct ServerState {
+    cfg: ServeConfig,
     shutdown: AtomicBool,
-    /// Workers currently inside an `evaluate`/`simulate` body — the
-    /// drain gate shutdown waits on.
-    busy: AtomicUsize,
+    /// Gate on requests inside an `evaluate`/`simulate` body — the
+    /// admission bound and the drain gate shutdown waits on.
+    inflight: InflightGate,
+    /// Connections currently owning a worker thread (the `workers`
+    /// admission bound).
+    conn_active: AtomicUsize,
     connections: AtomicU64,
     requests: AtomicU64,
     points_served: AtomicU64,
+    shed_busy: AtomicU64,
+    reaped_idle: AtomicU64,
     /// Where the shutdown handler dials to pop the accept loop out of
-    /// its blocking `accept`: the listener's own address, with an
+    /// its poll sleep early: the listener's own address, with an
     /// unspecified bind IP (`0.0.0.0`/`[::]`) rewritten to the
     /// matching loopback — the wildcard is bindable, not dialable
-    /// everywhere.
-    wake_addr: SocketAddr,
+    /// everywhere. The dial is retried but remains best-effort: the
+    /// accept loop polls a non-blocking listener, so even a fully
+    /// failed wake only costs one poll interval of shutdown latency —
+    /// never a hung daemon (regression-tested with a sabotaged dial
+    /// address).
+    wake_addr: Mutex<SocketAddr>,
 }
 
 /// A bound (but not yet serving) daemon. Binding and serving are split
 /// so callers can learn the actual address (`--addr 127.0.0.1:0` binds
-/// an ephemeral port) before the accept loop blocks.
+/// an ephemeral port) before the accept loop starts.
 pub struct Server {
     listener: TcpListener,
     store: ArtifactStore,
@@ -78,10 +247,20 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener on `addr` over `store`. The store is the
-    /// daemon's one process-level artifact store: every connection
-    /// shares it for its whole lifetime.
+    /// Binds the listener on `addr` over `store` with the default
+    /// [`ServeConfig`]. The store is the daemon's one process-level
+    /// artifact store: every connection shares it for its whole
+    /// lifetime.
     pub fn bind(addr: &str, store: ArtifactStore) -> std::io::Result<Server> {
+        Server::bind_with(addr, store, ServeConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit serving bounds.
+    pub fn bind_with(
+        addr: &str,
+        store: ArtifactStore,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let mut wake_addr = listener.local_addr()?;
         if wake_addr.ip().is_unspecified() {
@@ -91,12 +270,16 @@ impl Server {
             });
         }
         let state = Arc::new(ServerState {
+            inflight: InflightGate::new(cfg.max_inflight),
+            cfg,
             shutdown: AtomicBool::new(false),
-            busy: AtomicUsize::new(0),
+            conn_active: AtomicUsize::new(0),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             points_served: AtomicU64::new(0),
-            wake_addr,
+            shed_busy: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            wake_addr: Mutex::new(wake_addr),
         });
         Ok(Server { listener, store, state })
     }
@@ -106,78 +289,145 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The serving bounds this daemon runs under.
+    pub fn config(&self) -> ServeConfig {
+        self.state.cfg
+    }
+
+    /// Test hook: points the shutdown wake dial at a dead address so
+    /// the wake must fail, proving shutdown still completes through
+    /// the accept loop's poll fallback.
+    #[doc(hidden)]
+    pub fn sabotage_wake_for_test(&self) {
+        // Port 1 on loopback: nothing listens there, the dial is
+        // refused immediately.
+        *self.state.wake_addr.lock().expect("wake addr lock") =
+            SocketAddr::from(([127, 0, 0, 1], 1));
+    }
+
     /// Runs the accept loop until a client sends `shutdown`, then
-    /// drains in-flight work and returns the serving counters.
+    /// drains in-flight work (bounded by
+    /// [`ServeConfig::drain_timeout`]) and returns the serving
+    /// counters.
     ///
-    /// Each accepted connection gets its own worker thread; workers
-    /// exit when their client hangs up, so they are detached rather
-    /// than joined — only *busy* workers (inside an evaluate/simulate)
-    /// gate the drain.
+    /// The listener runs non-blocking and is polled with a short
+    /// adaptive sleep: accepting a waiting client costs no latency,
+    /// and the shutdown flag is observed within one poll interval even
+    /// if the shutdown wake-up dial fails — the loop can never block
+    /// forever in `accept`. Each admitted connection gets its own
+    /// worker thread; workers exit when their client hangs up (or
+    /// idles past the deadline), so they are detached rather than
+    /// joined — only *busy* workers (inside an evaluate/simulate) gate
+    /// the drain.
     pub fn run(self) -> std::io::Result<ServeSummary> {
+        const POLL_MIN: Duration = Duration::from_millis(1);
+        const POLL_MAX: Duration = Duration::from_millis(10);
+        self.listener.set_nonblocking(true)?;
+        let mut poll = POLL_MIN;
         let accept_error = loop {
-            // Blocking accept — zero connect latency for clients; the
-            // shutdown handler wakes it with a self-connection.
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break None;
+            }
             let (stream, _peer) = match self.listener.accept() {
                 Ok(conn) => conn,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(poll);
+                    poll = (poll * 2).min(POLL_MAX);
+                    continue;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 // A dying listener still drains in-flight work below —
                 // the store must never be abandoned mid-spill.
                 Err(e) => break Some(e),
             };
+            poll = POLL_MIN;
             if self.state.shutdown.load(Ordering::SeqCst) {
                 // `stream` may be a real client or the wake-up dial;
                 // either way nothing new is served past shutdown.
                 drop(stream);
                 break None;
             }
+            // Accepted sockets may inherit the listener's non-blocking
+            // mode on some platforms; workers expect deadline-based
+            // blocking I/O.
+            let _ = stream.set_nonblocking(false);
+            if self.state.conn_active.load(Ordering::SeqCst) >= self.state.cfg.workers {
+                // Worker pool saturated: shed the connection with an
+                // explicit Busy instead of a hung socket. The frame is
+                // tiny and the write deadline bounds even a client
+                // that never reads.
+                shed_connection(stream, &self.state);
+                continue;
+            }
             self.state.connections.fetch_add(1, Ordering::Relaxed);
+            self.state.conn_active.fetch_add(1, Ordering::SeqCst);
             let store = self.store.clone();
             let state = Arc::clone(&self.state);
-            std::thread::spawn(move || handle_connection(stream, store, state));
+            std::thread::spawn(move || {
+                handle_connection(stream, store, &state);
+                state.conn_active.fetch_sub(1, Ordering::SeqCst);
+            });
         };
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Drain: no new requests are admitted (workers increment `busy`
-        // *before* re-checking the shutdown flag, so this read cannot
-        // miss a request that saw the flag clear), and workers mid-
-        // evaluation finish (and spill) before we return — a
-        // disk-backed store is left with whole records only.
-        while self.state.busy.load(Ordering::SeqCst) > 0 {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        // Drain: no new requests are admitted (workers acquire their
+        // inflight slot *before* re-checking the shutdown flag, so this
+        // wait cannot miss a request that saw the flag clear), and
+        // workers mid-evaluation finish (and spill) before we return —
+        // a disk-backed store is left with whole records only. The
+        // hard deadline bounds even a wedged evaluation.
+        let drained = self.state.inflight.drain(self.state.cfg.drain_timeout);
         match accept_error {
             Some(e) => Err(e),
             None => Ok(ServeSummary {
                 connections: self.state.connections.load(Ordering::Relaxed),
                 requests: self.state.requests.load(Ordering::Relaxed),
                 points_served: self.state.points_served.load(Ordering::Relaxed),
+                shed_busy: self.state.shed_busy.load(Ordering::Relaxed),
+                reaped_idle: self.state.reaped_idle.load(Ordering::Relaxed),
+                drained,
             }),
         }
     }
 }
 
-/// Decrements the busy gauge on every exit path of a request body.
-struct BusyGuard<'a>(&'a AtomicUsize);
-
-impl<'a> BusyGuard<'a> {
-    fn enter(gauge: &'a AtomicUsize) -> BusyGuard<'a> {
-        gauge.fetch_add(1, Ordering::SeqCst);
-        BusyGuard(gauge)
-    }
+/// Answers an over-admission connection with `Busy` and closes it.
+fn shed_connection(mut stream: TcpStream, state: &ServerState) {
+    state.shed_busy.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let resp = Response::Busy { retry_after_ms: state.cfg.busy_retry_ms };
+    let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
 }
 
-impl Drop for BusyGuard<'_> {
+/// Releases an inflight slot on every exit path of a request body.
+struct SlotGuard<'a>(&'a InflightGate);
+
+impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.release();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: Arc<ServerState>) {
+fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: &ServerState) {
+    // Every read and write on this connection carries a deadline: a
+    // silent or slow client is reaped, never a parked thread.
+    let _ = stream.set_read_timeout(Some(state.cfg.idle_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut served: u64 = 0;
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(p) => p,
             // Clean close between frames, or dropped mid-frame: either
             // way this connection is done; nothing shared is affected.
             Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
+            // Idle past the read deadline (or trickling a frame): reap
+            // the connection and reclaim its worker slot. No farewell
+            // frame — an idle peer is not mid-exchange, and a stalled
+            // one is not reading.
+            Err(FrameError::TimedOut) => {
+                state.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             // Malformed framing: no resynchronization exists, so answer
             // (best-effort) and hang up.
             Err(e) => {
@@ -186,25 +436,33 @@ fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: Arc<Ser
                 return;
             }
         };
-        // The busy guard is taken BEFORE the shutdown re-check: either
-        // this thread observes the flag clear — in which case the drain
-        // loop's `busy` read (which happens after the flag was set, in
-        // SeqCst order) sees the increment and waits for us — or it
-        // observes the flag set and refuses. A request can never slip
-        // between "shutdown flagged" and "drain complete".
-        let busy = BusyGuard::enter(&state.busy);
-        if state.shutdown.load(Ordering::SeqCst) {
-            // A connection lingering past shutdown is refused, not
-            // served: the daemon has already drained and its store may
-            // be about to go away with the process.
-            drop(busy);
-            let resp = Response::Error { message: "daemon is shutting down".to_string() };
+        // Per-connection request quota: a connection that exhausts it
+        // is recycled with Busy — reconnecting re-enters the admission
+        // gate, so no client monopolizes a worker slot indefinitely.
+        if state.cfg.max_requests_per_conn > 0 && served >= state.cfg.max_requests_per_conn {
+            state.shed_busy.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Busy { retry_after_ms: state.cfg.busy_retry_ms };
             let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
             return;
         }
-        state.requests.fetch_add(1, Ordering::Relaxed);
         let (response, disconnect) = match protocol::parse_request(&payload) {
-            Ok(req) => dispatch(req, &store, &state),
+            Ok(req) => match admit(req, &store, state) {
+                Admission::Served(resp, disconnect) => (resp, disconnect),
+                Admission::Shed => {
+                    state.shed_busy.fetch_add(1, Ordering::Relaxed);
+                    (Response::Busy { retry_after_ms: state.cfg.busy_retry_ms }, false)
+                }
+                Admission::Refused => {
+                    // A connection lingering past shutdown is refused,
+                    // not served: the daemon has already drained and
+                    // its store may be about to go away with the
+                    // process.
+                    let resp =
+                        Response::Error { message: "daemon is shutting down".to_string() };
+                    let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
+                    return;
+                }
+            },
             // A frame that parsed but isn't a well-formed request:
             // per-request error. Version skew additionally drops the
             // connection — the peer will keep speaking the wrong
@@ -215,14 +473,23 @@ fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: Arc<Ser
                 (Response::Error { message: msg }, skew)
             }
         };
+        served += 1;
+        state.requests.fetch_add(1, Ordering::Relaxed);
         let sent = write_frame(&mut stream, &protocol::emit_response(&response)).is_ok();
-        drop(busy);
         if matches!(response, Response::ShuttingDown) {
             // Flag only after the ack is on the wire, so the requester
-            // always hears back; then pop the accept loop out of its
-            // blocking accept with a throwaway self-connection.
+            // always hears back; then nudge the accept loop out of its
+            // poll sleep with a throwaway self-connection. The dial is
+            // retried but purely a latency optimization — the poll
+            // observes the flag within one interval regardless.
             state.shutdown.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(state.wake_addr);
+            let wake = *state.wake_addr.lock().expect("wake addr lock");
+            for _ in 0..3 {
+                if TcpStream::connect_timeout(&wake, Duration::from_millis(100)).is_ok() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
             return;
         }
         if disconnect || !sent {
@@ -231,12 +498,76 @@ fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: Arc<Ser
     }
 }
 
+/// The verdict of the admission gate on one parsed request.
+enum Admission {
+    /// Admitted and dispatched; carries the response and whether the
+    /// connection must close after it.
+    Served(Response, bool),
+    /// Pool saturated past the request's deadline: shed with `Busy`.
+    Shed,
+    /// The daemon is past shutdown: refuse and hang up.
+    Refused,
+}
+
+fn admit(req: Request, store: &ArtifactStore, state: &ServerState) -> Admission {
+    // Only the verbs that do real work contend for an inflight slot;
+    // ping/stats/shutdown stay cheap and always answerable (an
+    // operator must be able to probe or stop a saturated daemon).
+    let slot = match &req {
+        Request::Evaluate { deadline_ms, .. } => {
+            // The client's remaining patience can only shorten the
+            // server's own cap: work that cannot start before the
+            // client gives up is shed, not burned.
+            let mut wait = state.cfg.request_timeout;
+            if *deadline_ms > 0 {
+                wait = wait.min(Duration::from_millis(*deadline_ms));
+            }
+            if !state.inflight.acquire(wait) {
+                return Admission::Shed;
+            }
+            Some(SlotGuard(&state.inflight))
+        }
+        Request::Simulate { .. } => {
+            if !state.inflight.acquire(state.cfg.request_timeout) {
+                return Admission::Shed;
+            }
+            Some(SlotGuard(&state.inflight))
+        }
+        _ => None,
+    };
+    // The slot is acquired BEFORE the shutdown re-check: either this
+    // thread observes the flag clear — in which case the drain (which
+    // starts only after the flag is set) sees the occupied slot and
+    // waits for us — or it observes the flag set and refuses. A
+    // request can never slip between "shutdown flagged" and "drain
+    // complete".
+    if state.shutdown.load(Ordering::SeqCst) {
+        drop(slot);
+        return Admission::Refused;
+    }
+    let (response, disconnect) = dispatch(req, store, state);
+    drop(slot);
+    Admission::Served(response, disconnect)
+}
+
 fn dispatch(req: Request, store: &ArtifactStore, state: &ServerState) -> (Response, bool) {
     match req {
         Request::Ping => (Response::Pong, false),
         Request::Shutdown => (Response::ShuttingDown, false),
         Request::Stats => (Response::Stats(stats(store, state)), false),
-        Request::Evaluate { scope, points } => {
+        Request::Evaluate { scope, points, deadline_ms: _ } => {
+            if points.len() > state.cfg.max_points_per_request {
+                return (
+                    Response::Error {
+                        message: format!(
+                            "evaluate batch of {} points exceeds the per-request quota of {}",
+                            points.len(),
+                            state.cfg.max_points_per_request
+                        ),
+                    },
+                    false,
+                );
+            }
             let resp = handle_evaluate(store, &scope, &points);
             if matches!(resp, Response::Evaluate { .. }) {
                 state.points_served.fetch_add(points.len() as u64, Ordering::Relaxed);
@@ -261,6 +592,10 @@ fn stats(store: &ArtifactStore, state: &ServerState) -> ServiceStats {
         measurement_tiers: s.measurement_tiers as u64,
         unique_evaluations: s.unique_evaluations as u64,
         contexts: s.contexts as u64,
+        workers_busy: state.inflight.busy() as u64,
+        workers_max: state.cfg.max_inflight as u64,
+        shed_busy: state.shed_busy.load(Ordering::Relaxed),
+        reaped_idle: state.reaped_idle.load(Ordering::Relaxed),
         disk: s.disk,
     }
 }

@@ -1,0 +1,439 @@
+//! Fault-injection acceptance suite: every injected failure either
+//! **heals** (the client retries and the final results are
+//! bit-identical to a fault-free local run) or **aborts loudly** (a
+//! latched error) — and nothing, client or daemon, blocks past its
+//! deadline. Each test carries an explicit wall-clock bound where a
+//! hang would otherwise be the failure mode.
+
+use oriole_arch::{Gpu, GpuSpec};
+use oriole_codegen::TuningParams;
+use oriole_kernels::KernelId;
+use oriole_service::{
+    ChaosPlan, ChaosProxy, Client, EvalScope, FaultSpec, RemoteEvaluator, RetryPolicy,
+    ServeConfig, ServeSummary, Server, ServiceError,
+};
+use oriole_tuner::persist::{read_frame, write_frame};
+use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, Measurement, SearchSpace};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn spawn_server_with(
+    store: ArtifactStore,
+    cfg: ServeConfig,
+) -> (SocketAddr, JoinHandle<ServeSummary>) {
+    let server = Server::bind_with("127.0.0.1:0", store, cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn spawn_server(store: ArtifactStore) -> (SocketAddr, JoinHandle<ServeSummary>) {
+    spawn_server_with(store, ServeConfig::default())
+}
+
+fn scope(kernel: &str, gpu: &GpuSpec, sizes: &[u64]) -> EvalScope {
+    EvalScope {
+        kernel: kernel.to_string(),
+        gpu: gpu.clone(),
+        sizes: sizes.to_vec(),
+        protocol: EvalProtocol::default(),
+    }
+}
+
+fn local_sweep(kid: KernelId, gpu: &GpuSpec, sizes: &[u64], space: &SearchSpace) -> Vec<Measurement> {
+    let builder = move |n: u64| kid.ast(n);
+    let ev = Evaluator::new(&builder, gpu, sizes);
+    ev.evaluate_space(space).iter().map(|m| (**m).clone()).collect()
+}
+
+fn shutdown_daemon(addr: SocketAddr, handle: JoinHandle<ServeSummary>) -> ServeSummary {
+    Client::connect(&addr.to_string()).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("server thread")
+}
+
+/// A fast-failing-but-healing policy for fault tests: deadlines tight
+/// enough that a black hole is detected in milliseconds, retries
+/// plentiful enough that every transient fault in these plans heals.
+fn test_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        rpc_timeout: Duration::from_millis(500),
+        jitter_seed: 42,
+    }
+}
+
+#[test]
+fn corrupted_response_frame_heals_via_retry_bit_identically() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::K20.spec();
+    let local = local_sweep(KernelId::Atax, gpu, &[64], &space);
+
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    // First connection: flip one payload byte of the response (stream
+    // offset 20 sits inside the first frame's payload, past the
+    // 16-byte header). The frame checksum must catch it, the retry
+    // must reconnect and heal.
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::sequence(vec![FaultSpec { corrupt_response_at: Some(20), ..FaultSpec::clean() }]),
+    )
+    .expect("proxy");
+
+    let client = Client::connect_with(&proxy.addr().to_string(), test_policy()).expect("connect");
+    let (_, remote) = client.evaluate(&scope("atax", gpu, &[64]), &points).expect("heals");
+    assert_eq!(remote, local, "healed run must be bit-identical to a fault-free local run");
+    for (r, l) in remote.iter().zip(&local) {
+        assert_eq!(r.time_ms.to_bits(), l.time_ms.to_bits());
+    }
+    assert!(client.retries() >= 1, "the corruption must have cost at least one retry");
+    assert!(proxy.connections() >= 2, "healing reconnects through the proxy");
+
+    drop(client);
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn connection_cut_mid_frame_heals_via_retry_bit_identically() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::M40.spec();
+    let local = local_sweep(KernelId::Bicg, gpu, &[32], &space);
+
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    // First two connections die mid-response-frame (one inside the
+    // 16-byte header, one inside the payload); the third is clean.
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::sequence(vec![
+            FaultSpec { cut_response_after: Some(7), ..FaultSpec::clean() },
+            FaultSpec { cut_response_after: Some(40), ..FaultSpec::clean() },
+        ]),
+    )
+    .expect("proxy");
+
+    let client = Client::connect_with(&proxy.addr().to_string(), test_policy()).expect("connect");
+    let (_, remote) = client.evaluate(&scope("bicg", gpu, &[32]), &points).expect("heals");
+    assert_eq!(remote, local);
+    assert!(client.retries() >= 2, "two cut connections cost two retries");
+    assert!(proxy.connections() >= 3);
+
+    drop(client);
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn refused_connections_heal_once_the_network_does() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::K20.spec();
+    let local = local_sweep(KernelId::Atax, gpu, &[64], &space);
+
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::sequence(vec![
+            FaultSpec { refuse: true, ..FaultSpec::clean() },
+            FaultSpec { refuse: true, ..FaultSpec::clean() },
+        ]),
+    )
+    .expect("proxy");
+
+    let client = Client::connect_with(&proxy.addr().to_string(), test_policy()).expect("connect");
+    let (_, remote) = client.evaluate(&scope("atax", gpu, &[64]), &points).expect("heals");
+    assert_eq!(remote, local);
+
+    drop(client);
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn a_black_hole_latches_loudly_within_its_deadline_budget() {
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    // Every connection swallows the response for far longer than the
+    // client is willing to wait.
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::always(FaultSpec { delay_response_ms: 60_000, ..FaultSpec::clean() }),
+    )
+    .expect("proxy");
+
+    let policy = RetryPolicy {
+        max_retries: 1,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        rpc_timeout: Duration::from_millis(150),
+        jitter_seed: 42,
+    };
+    let started = Instant::now();
+    let client = Client::connect_with(&proxy.addr().to_string(), policy).expect("connect");
+    let remote = RemoteEvaluator::new(client, scope("atax", Gpu::K20.spec(), &[64]));
+    use oriole_tuner::Oracle as _;
+    assert_eq!(remote.eval(TuningParams::with_geometry(128, 48)), f64::INFINITY);
+    let elapsed = started.elapsed();
+    let err = remote.take_error().expect("black hole must latch an error");
+    assert!(err.contains("deadline") || err.contains("timed out") || err.contains("I/O"), "{err}");
+    // Two 150ms attempts plus backoff: the latch must arrive in well
+    // under a second of deadline budget — never an unbounded hang.
+    assert!(elapsed < Duration::from_secs(5), "latched after {elapsed:?}, deadline not honored");
+
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn daemon_death_mid_sweep_latches_and_a_restart_resumes_bit_identically() {
+    let dir: PathBuf = std::env::temp_dir()
+        .join(format!("oriole-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    assert!(points.len() >= 4, "need enough points to split the sweep");
+    let gpu = Gpu::K20.spec();
+    let local = local_sweep(KernelId::Atax, gpu, &[64], &space);
+    let sc = scope("atax", gpu, &[64]);
+    let (first, rest) = points.split_at(points.len() / 2);
+
+    // Phase 1: evaluate the first half, then the daemon dies.
+    let store = ArtifactStore::with_disk(&dir).expect("disk store");
+    let (daemon, handle) = spawn_server(store);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        rpc_timeout: Duration::from_millis(500),
+        jitter_seed: 42,
+    };
+    let client = Client::connect_with(&daemon.to_string(), policy).expect("connect");
+    let remote = RemoteEvaluator::new(client, sc.clone());
+    let healthy = remote.evaluate_batch(first).expect("first half evaluates");
+    assert_eq!(&healthy[..], &local[..first.len()], "pre-fault half matches local");
+    shutdown_daemon(daemon, handle);
+
+    // The dead daemon must latch loudly — bounded by the retry budget,
+    // not a hang — and poison everything after.
+    let started = Instant::now();
+    assert!(remote.evaluate_batch(rest).is_none(), "dead daemon cannot evaluate");
+    assert!(started.elapsed() < Duration::from_secs(10));
+    let err = remote.take_error().expect("abort is loud");
+    assert!(!err.is_empty());
+    assert!(remote.evaluate_batch(first).is_none(), "latched evaluator stays poisoned");
+
+    // Phase 2: a fresh daemon over the same store directory. The full
+    // sweep must be bit-identical to the fault-free local run, with the
+    // pre-crash half replayed from disk, not recomputed.
+    let store = ArtifactStore::with_disk(&dir).expect("reopen disk store");
+    let (daemon, handle) = spawn_server(store);
+    let client = Client::connect_with(&daemon.to_string(), test_policy()).expect("connect");
+    let resumed = RemoteEvaluator::new(client, sc);
+    let full = resumed.evaluate_batch(&points).expect("resumed sweep");
+    assert_eq!(resumed.take_error(), None);
+    assert_eq!(full, local, "resumed sweep is bit-identical to a fault-free local run");
+    for (r, l) in full.iter().zip(&local) {
+        assert_eq!(r.time_ms.to_bits(), l.time_ms.to_bits());
+    }
+    assert!(
+        (resumed.computed_remote() as usize) <= rest.len(),
+        "the pre-crash half must come from the spilled store, not recomputation"
+    );
+    shutdown_daemon(daemon, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_saturated_worker_pool_sheds_with_busy_and_recovers() {
+    // One worker: the first connection owns the pool, so a second
+    // connection must be answered Busy and closed — deterministically.
+    let cfg = ServeConfig { workers: 1, ..ServeConfig::default() };
+    let (daemon, handle) = spawn_server_with(ArtifactStore::new(), cfg);
+
+    let holder = Client::connect(&daemon.to_string()).expect("connect");
+    holder.ping().expect("holder owns the one worker slot");
+
+    let mut raw = std::net::TcpStream::connect(daemon).expect("dial");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("deadline");
+    // The shed is connection-level: Busy arrives before any request.
+    let reply = read_frame(&mut raw).expect("busy frame");
+    match oriole_service::protocol::parse_response(&reply) {
+        Ok(oriole_service::Response::Busy { retry_after_ms }) => {
+            assert!(retry_after_ms > 0, "busy carries a retry hint");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    drop(raw);
+
+    let stats = holder.stats().expect("stats");
+    assert!(stats.shed_busy >= 1, "the shed is counted: {stats:?}");
+    assert_eq!(stats.workers_max, cfg.max_inflight as u64);
+
+    // Capacity freed: a retrying client heals once the holder leaves.
+    drop(holder);
+    let healed = Client::connect_retry(&daemon.to_string(), Duration::from_secs(5))
+        .expect("reconnect after capacity frees");
+    healed.ping().expect("pool recovered");
+    drop(healed);
+    let summary = shutdown_daemon(daemon, handle);
+    assert!(summary.shed_busy >= 1);
+}
+
+#[test]
+fn contended_clients_all_complete_identically_under_a_tiny_inflight_gate() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::P100.spec();
+    let local = local_sweep(KernelId::MatVec2D, gpu, &[64], &space);
+
+    // A deliberately tiny gate under real contention: every client must
+    // still complete (waiting inside its deadline or healing a shed via
+    // retry) with bit-identical results.
+    let cfg = ServeConfig { max_inflight: 1, ..ServeConfig::default() };
+    let (daemon, handle) = spawn_server_with(ArtifactStore::new(), cfg);
+    let sc = scope("matvec2d", gpu, &[64]);
+
+    let results: Vec<Vec<Measurement>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let sc = sc.clone();
+                let points = points.clone();
+                let addr = daemon.to_string();
+                s.spawn(move || {
+                    let policy = RetryPolicy { jitter_seed: i, ..test_policy() };
+                    let client = Client::connect_with(&addr, policy).expect("connect");
+                    client.evaluate(&sc, &points).expect("evaluate").1
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for r in &results {
+        assert_eq!(r, &local, "contention must never change results");
+    }
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn idle_connections_are_reaped_and_clients_heal_by_reconnecting() {
+    let cfg = ServeConfig { idle_timeout: Duration::from_millis(100), ..ServeConfig::default() };
+    let (daemon, handle) = spawn_server_with(ArtifactStore::new(), cfg);
+
+    let client = Client::connect_with(&daemon.to_string(), test_policy()).expect("connect");
+    client.ping().expect("alive");
+    // Idle well past the deadline: the daemon reaps the connection.
+    std::thread::sleep(Duration::from_millis(400));
+    // The next call heals transparently: the poisoned/closed stream is
+    // re-dialed under the retry policy.
+    client.ping().expect("heals by reconnecting");
+    let stats = client.stats().expect("stats");
+    assert!(stats.reaped_idle >= 1, "the reap is counted: {stats:?}");
+
+    drop(client);
+    let summary = shutdown_daemon(daemon, handle);
+    assert!(summary.reaped_idle >= 1);
+}
+
+#[test]
+fn shutdown_completes_even_when_the_wake_dial_is_sabotaged() {
+    // Regression for the silent-failure wake path: the old accept loop
+    // blocked in accept(2) and relied on a best-effort self-connection
+    // to notice shutdown — a failed dial hung the daemon forever. The
+    // polled loop must shut down promptly even with the dial pointed at
+    // a dead address.
+    let server = Server::bind("127.0.0.1:0", ArtifactStore::new()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    server.sabotage_wake_for_test();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let client = Client::connect(&addr.to_string()).expect("connect");
+    let started = Instant::now();
+    client.shutdown().expect("shutdown ack");
+    drop(client);
+    let summary = handle.join().expect("server thread");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must complete through the poll fallback, not hang"
+    );
+    assert!(summary.drained);
+}
+
+#[test]
+fn connect_retry_reports_the_standing_cause_when_time_runs_out() {
+    // Nothing listens on this address; every dial inside the window
+    // fails with the same refusal, and that refusal — not a panic, not
+    // a hang — is what comes back when the window closes.
+    let started = Instant::now();
+    let err = Client::connect_retry("127.0.0.1:1", Duration::from_millis(200))
+        .expect_err("nothing listens on port 1");
+    assert!(matches!(err, ServiceError::Io(_)), "dial refusal is the standing cause: {err}");
+    let elapsed = started.elapsed();
+    assert!(elapsed >= Duration::from_millis(200), "the window is honored");
+    assert!(elapsed < Duration::from_secs(30), "and bounded");
+}
+
+#[test]
+fn requests_past_the_connection_quota_are_shed_and_heal_by_reconnecting() {
+    let cfg = ServeConfig { max_requests_per_conn: 2, ..ServeConfig::default() };
+    let (daemon, handle) = spawn_server_with(ArtifactStore::new(), cfg);
+
+    // A raw client sees the quota directly: two served requests, then
+    // a Busy and a hangup.
+    let mut raw = std::net::TcpStream::connect(daemon).expect("dial");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("deadline");
+    for _ in 0..2 {
+        write_frame(&mut raw, &oriole_service::protocol::emit_request(&oriole_service::Request::Ping))
+            .expect("send");
+        let reply = read_frame(&mut raw).expect("reply");
+        assert!(matches!(
+            oriole_service::protocol::parse_response(&reply),
+            Ok(oriole_service::Response::Pong)
+        ));
+    }
+    write_frame(&mut raw, &oriole_service::protocol::emit_request(&oriole_service::Request::Ping))
+        .expect("send");
+    let reply = read_frame(&mut raw).expect("reply");
+    assert!(
+        matches!(
+            oriole_service::protocol::parse_response(&reply),
+            Ok(oriole_service::Response::Busy { .. })
+        ),
+        "third request on a quota-2 connection is shed"
+    );
+    drop(raw);
+
+    // A policy-driven client heals through the quota transparently: the
+    // Busy poisons its stream and the retry reconnects.
+    let client = Client::connect_with(&daemon.to_string(), test_policy()).expect("connect");
+    for _ in 0..7 {
+        client.ping().expect("every ping lands despite the quota");
+    }
+    assert!(client.retries() >= 1, "the quota recycles cost retries");
+    drop(client);
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn oversized_evaluate_batches_are_a_loud_per_request_error() {
+    let cfg = ServeConfig { max_points_per_request: 2, ..ServeConfig::default() };
+    let (daemon, handle) = spawn_server_with(ArtifactStore::new(), cfg);
+    let client = Client::connect_with(&daemon.to_string(), test_policy()).expect("connect");
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    assert!(points.len() > 2);
+    let err = client
+        .evaluate(&scope("atax", Gpu::K20.spec(), &[64]), &points)
+        .expect_err("quota violation is an error, not a hang");
+    assert!(err.to_string().contains("quota"), "{err}");
+    // Retrying cannot help, so the policy must NOT have burned retries.
+    assert_eq!(client.retries(), 0, "deterministic refusals are not retried");
+    // The connection survives a per-request error.
+    client.ping().expect("connection survives");
+    drop(client);
+    shutdown_daemon(daemon, handle);
+}

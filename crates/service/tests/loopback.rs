@@ -208,7 +208,7 @@ fn protocol_abuse_poisons_nothing_but_its_own_connection() {
     write_frame(&mut raw, "oriole-rpc v99 ping").expect("send");
     let reply = read_frame(&mut raw).expect("reply");
     assert!(reply.contains("version skew"), "{reply}");
-    assert!(reply.contains("oriole-rpc v1"), "{reply}");
+    assert!(reply.contains(oriole_service::RPC_VERSION), "{reply}");
 
     // 3. A malformed frame (garbage bytes): the server answers with an
     // error (best-effort) and hangs up.

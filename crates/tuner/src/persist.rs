@@ -819,6 +819,12 @@ pub enum FrameError {
     Eof,
     /// An I/O failure, including a connection dropped *mid*-frame.
     Io(std::io::Error),
+    /// A read/write deadline expired (`set_read_timeout` /
+    /// `set_write_timeout` on the stream): the peer is slow, stalled or
+    /// idle — distinct from [`FrameError::Io`] so servers can reap idle
+    /// connections and clients can retry instead of treating the
+    /// deadline as a dead peer.
+    TimedOut,
     /// The stream did not start with [`FRAME_MAGIC`] — not speaking
     /// this protocol, or desynchronized beyond recovery.
     BadMagic([u8; 4]),
@@ -835,6 +841,7 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::Eof => write!(f, "connection closed"),
             FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TimedOut => write!(f, "frame I/O deadline expired"),
             FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
             FrameError::TooLarge(n) => {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte bound")
@@ -863,6 +870,17 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &str) -> std::io::Resul
     w.flush()
 }
 
+/// Maps a raw I/O error to the frame-level verdict: an expired
+/// read/write deadline (`WouldBlock` on Unix sockets, `TimedOut`
+/// elsewhere) is [`FrameError::TimedOut`], everything else is
+/// [`FrameError::Io`].
+pub fn classify_frame_io(e: std::io::Error) -> FrameError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => FrameError::TimedOut,
+        _ => FrameError::Io(e),
+    }
+}
+
 fn read_exact_or(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<(), FrameError> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -871,7 +889,7 @@ fn read_exact_or(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<(), Frame
                 "connection dropped mid-frame",
             ))
         } else {
-            FrameError::Io(e)
+            classify_frame_io(e)
         }
     })
 }
@@ -888,7 +906,7 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<String, FrameError> {
     match r.read(&mut magic[..1]) {
         Ok(0) => return Err(FrameError::Eof),
         Ok(_) => {}
-        Err(e) => return Err(FrameError::Io(e)),
+        Err(e) => return Err(classify_frame_io(e)),
     }
     read_exact_or(r, &mut magic[1..])?;
     if magic != FRAME_MAGIC {
@@ -1316,6 +1334,35 @@ mod tests {
         // A connection dropped mid-frame is an I/O error, not Eof.
         let mut cursor = &buf[..7];
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn expired_read_deadlines_classify_as_timeouts() {
+        // A reader whose deadline pops (WouldBlock on Unix sockets,
+        // TimedOut elsewhere) must surface as FrameError::TimedOut —
+        // both before the first magic byte (idle peer) and mid-frame
+        // (stalled peer) — never as a generic Io error.
+        struct TimesOutAfter(usize);
+        impl std::io::Read for TimesOutAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(self.0);
+                buf[..n].fill(b'O');
+                self.0 -= n;
+                Ok(n)
+            }
+        }
+        assert!(matches!(read_frame(&mut TimesOutAfter(0)), Err(FrameError::TimedOut)));
+        assert!(matches!(read_frame(&mut TimesOutAfter(2)), Err(FrameError::TimedOut)));
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            assert!(matches!(classify_frame_io(kind.into()), FrameError::TimedOut));
+        }
+        assert!(matches!(
+            classify_frame_io(std::io::ErrorKind::ConnectionReset.into()),
+            FrameError::Io(_)
+        ));
     }
 
     #[test]
