@@ -29,11 +29,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use oriole_arch::Gpu;
-use oriole_codegen::{compile, TuningParams};
+use oriole_codegen::{compile, front_end, FrontEnd, TuningParams};
 use oriole_kernels::KernelId;
 use oriole_service::{Client, EvalScope, ServeConfig, Server};
-use oriole_sim::{dynamic_mix, measure, TrialProtocol};
+use oriole_sim::{dynamic_mix, measure, simulate, TrialProtocol};
 use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, SearchSpace};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -88,6 +89,62 @@ fn bench_eval_throughput(c: &mut Criterion) {
             }
             total
         })
+    });
+
+    // The program-index pair: both scenarios drive every point through
+    // specialize + simulate + dynamic_mix directly (no evaluator tiers),
+    // so the only difference is where the front end runs.
+    // `frontend/cold_index_build` pays unroll + lower + ProgramIndex
+    // construction for each distinct (UIF, CFLAGS) key inside the timed
+    // region; `frontend/indexed_resweep` reuses prebuilt front-end
+    // artifacts, so every analysis replays the shared index. The delta
+    // prices the once-per-artifact index build against the per-query
+    // sweep it amortizes.
+    g.bench_function("frontend/cold_index_build", |b| {
+        b.iter(|| {
+            let mut fes: HashMap<(u32, bool), FrontEnd> = HashMap::new();
+            let mut total = 0.0f64;
+            for p in space.iter() {
+                for &n in &sizes {
+                    let fe = fes.entry((p.uif, p.cflags.fast_math)).or_insert_with(|| {
+                        front_end(&builder(n), gpu, p.uif, p.cflags).expect("feasible space")
+                    });
+                    let kernel = fe.specialize(p).expect("feasible space");
+                    total += simulate(&kernel, n).expect("simulates").time_ms;
+                    black_box(dynamic_mix(&kernel, n));
+                }
+            }
+            total
+        })
+    });
+
+    g.bench_function("frontend/indexed_resweep", |b| {
+        b.iter_batched(
+            || {
+                let mut fes: HashMap<(u32, bool), FrontEnd> = HashMap::new();
+                for p in space.iter() {
+                    for &n in &sizes {
+                        fes.entry((p.uif, p.cflags.fast_math)).or_insert_with(|| {
+                            front_end(&builder(n), gpu, p.uif, p.cflags).expect("feasible space")
+                        });
+                    }
+                }
+                fes
+            },
+            |fes| {
+                let mut total = 0.0f64;
+                for p in space.iter() {
+                    for &n in &sizes {
+                        let fe = &fes[&(p.uif, p.cflags.fast_math)];
+                        let kernel = fe.specialize(p).expect("feasible space");
+                        total += simulate(&kernel, n).expect("simulates").time_ms;
+                        black_box(dynamic_mix(&kernel, n));
+                    }
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
     });
 
     g.bench_function("cold/1thread", |b| {

@@ -895,6 +895,13 @@ fn render_stats(before: EvalStats, after: EvalStats) -> String {
         "  disk tier: {} loaded, {} spilled",
         after.disk_loaded, after.disk_spilled
     );
+    let _ = writeln!(
+        out,
+        "  program index: {} built, fast-path hits {}, slow-path hits {}",
+        after.index_builds - before.index_builds,
+        after.index_fast_path_hits - before.index_fast_path_hits,
+        after.index_slow_path_hits - before.index_slow_path_hits
+    );
     let m = after.model;
     let b = before.model;
     let _ = writeln!(out, "  timing model: {} (all rates below are this backend's)", m.model);
@@ -989,6 +996,8 @@ mod tests {
             "cache stats",
             "unique evaluations:",
             "front-end lowerings:",
+            "program index:",
+            "fast-path hits",
             "timing model: sim",
             "occupancy table:",
             "dynamic-mix memo:",

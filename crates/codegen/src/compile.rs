@@ -28,9 +28,9 @@ use crate::regalloc::{self, RegAllocation};
 use crate::transform;
 use oriole_arch::{validate_launch, GpuSpec, LaunchCheck};
 use oriole_ir::lower::{lower, LowerOptions};
-use oriole_ir::{KernelAst, LaunchGeometry, Program, SharedDecl};
+use oriole_ir::{KernelAst, LaunchGeometry, Program, ProgramIndex, SharedDecl};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Compilation failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +79,12 @@ pub struct CompiledKernel {
     pub smem_per_block: u32,
     /// Uncapped register demand (diagnostics).
     pub reg_demand: u32,
+    /// The per-lowered-program analysis index, built once by
+    /// [`front_end`] and shared (`Arc`) by every variant of the same
+    /// artifact. The blocks it summarizes are identical across
+    /// specializations (only `program.meta` differs), so analysis
+    /// phases combine it with this variant's `program` freely.
+    pub index: Arc<ProgramIndex>,
 }
 
 impl CompiledKernel {
@@ -117,6 +123,9 @@ pub struct FrontEnd {
     /// Shared-memory declarations of the source kernel (unrolling never
     /// changes them); the back-end sizes them for each `TC`.
     shared: Vec<SharedDecl>,
+    /// The analysis index of `program`, built exactly once here and
+    /// cloned (by `Arc`) into every specialization.
+    index: Arc<ProgramIndex>,
     /// Lazily computed, shared by all specializations.
     alloc: OnceLock<RegAllocation>,
 }
@@ -137,12 +146,14 @@ pub fn front_end(
     }
     let transformed = transform::unroll(ast, uif);
     let program = lower(&transformed, gpu.family, LowerOptions { fast_math: cflags.fast_math });
+    let index = Arc::new(ProgramIndex::build(&program));
     Ok(FrontEnd {
         gpu: gpu.clone(),
         uif,
         cflags,
         program,
         shared: ast.shared.clone(),
+        index,
         alloc: OnceLock::new(),
     })
 }
@@ -174,6 +185,12 @@ impl FrontEnd {
     /// The lowered program before metadata fill-in.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The analysis index of the lowered program (built once at
+    /// artifact creation; every specialization shares it).
+    pub fn index(&self) -> &Arc<ProgramIndex> {
+        &self.index
     }
 
     /// The cached register allocation for this lowered program at the
@@ -236,6 +253,7 @@ impl FrontEnd {
             program,
             smem_per_block: smem,
             reg_demand: alloc.demand,
+            index: Arc::clone(&self.index),
         })
     }
 }
@@ -405,6 +423,19 @@ mod tests {
         let fe = front_end(&ast, gpu, 1, CompilerFlags::default()).unwrap();
         let err = fe.specialize(params(100, 48, 1, false)).unwrap_err();
         assert!(matches!(err, CompileError::InvalidParams(_)));
+    }
+
+    #[test]
+    fn index_is_shared_across_specializations() {
+        let ast = KernelId::MatVec2D.ast(64);
+        let gpu = Gpu::K20.spec();
+        let fe = front_end(&ast, gpu, 1, CompilerFlags::default()).unwrap();
+        let a = fe.specialize(params(128, 48, 1, false)).unwrap();
+        let b = fe.specialize(params(512, 24, 1, false)).unwrap();
+        // One index per front-end artifact: the very same allocation.
+        assert!(Arc::ptr_eq(fe.index(), &a.index));
+        assert!(Arc::ptr_eq(&a.index, &b.index));
+        assert_eq!(a.index.len(), a.program.blocks.len());
     }
 
     #[test]

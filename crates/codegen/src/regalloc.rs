@@ -16,8 +16,7 @@
 //!   overflowed register becomes 4 bytes of local memory, which the
 //!   simulator charges as extra global-latency traffic.
 
-use oriole_ir::{BlockId, Program, Reg, Terminator};
-use std::collections::HashMap;
+use oriole_ir::{BlockId, Program, Terminator};
 
 /// Registers the ABI reserves outside allocatable program values
 /// (thread/block indices, parameter base pointers, stack pointer).
@@ -52,27 +51,48 @@ pub fn allocate(program: &Program, max_regs_per_thread: u32) -> RegAllocation {
     }
 }
 
+/// Sentinel for registers never seen in the program.
+const UNSEEN: usize = usize::MAX;
+
 /// Peak number of simultaneously live virtual registers in linear order.
 fn peak_pressure(program: &Program) -> u32 {
+    // Dense def/last-use position maps indexed by register number —
+    // lowering assigns small dense ids, so a flat Vec beats hashing.
+    let nregs = program
+        .blocks
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .flat_map(|i| i.def().into_iter().chain(i.uses()))
+        .map(|r| r.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut def_pos = vec![UNSEEN; nregs];
+    let mut last_use = vec![UNSEEN; nregs];
     // Linear positions of every instruction; block boundaries are
     // positions too, so empty blocks don't collapse intervals.
-    let mut def_pos: HashMap<Reg, usize> = HashMap::new();
-    let mut last_use: HashMap<Reg, usize> = HashMap::new();
     let mut block_span: Vec<(usize, usize)> = Vec::with_capacity(program.blocks.len());
     let mut pos = 0usize;
     for block in &program.blocks {
         let start = pos;
         for instr in &block.instrs {
             if let Some(d) = instr.def() {
-                def_pos.entry(d).or_insert(pos);
+                let r = d.0 as usize;
+                if def_pos[r] == UNSEEN {
+                    def_pos[r] = pos;
+                }
                 // A def is also the start of its own liveness.
-                last_use.entry(d).or_insert(pos);
+                if last_use[r] == UNSEEN {
+                    last_use[r] = pos;
+                }
             }
             for u in instr.uses() {
-                last_use.insert(u, pos);
+                let r = u.0 as usize;
+                last_use[r] = pos;
                 // Uses of registers never defined (parser input) start
                 // life at first sight.
-                def_pos.entry(u).or_insert(pos);
+                if def_pos[r] == UNSEEN {
+                    def_pos[r] = pos;
+                }
             }
             pos += 1;
         }
@@ -83,17 +103,19 @@ fn peak_pressure(program: &Program) -> u32 {
     // Loop-carried extension: a value defined before a loop and used
     // inside it stays live through the whole loop body (the back edge
     // re-enters). Extend last_use to the latch position.
+    let extend = |last_use: &mut [usize], body_start: usize, latch_end: usize| {
+        for (def, lu) in def_pos.iter().zip(last_use.iter_mut()) {
+            // Live range touches the loop body → extend to latch.
+            if *def != UNSEEN && *def < body_start && *lu >= body_start && *lu < latch_end {
+                *lu = latch_end;
+            }
+        }
+    };
     for (i, block) in program.blocks.iter().enumerate() {
         if let Terminator::LoopBack { target, .. } = &block.term {
             let latch_end = block_span[i].1;
             let body_start = block_span[target.0 as usize].0;
-            for (reg, lu) in last_use.iter_mut() {
-                let def = def_pos[reg];
-                // Live range touches the loop body → extend to latch.
-                if def < body_start && *lu >= body_start && *lu < latch_end {
-                    *lu = latch_end;
-                }
-            }
+            extend(&mut last_use, body_start, latch_end);
         }
         if let Terminator::CondBranch { taken, fallthrough, .. } = &block.term {
             // Back edge expressed as a plain conditional branch (e.g.
@@ -102,24 +124,22 @@ fn peak_pressure(program: &Program) -> u32 {
                 if back_edge(program, BlockId(i as u32), *t) {
                     let latch_end = block_span[i].1;
                     let body_start = block_span[t.0 as usize].0;
-                    for (reg, lu) in last_use.iter_mut() {
-                        let def = def_pos[reg];
-                        if def < body_start && *lu >= body_start && *lu < latch_end {
-                            *lu = latch_end;
-                        }
-                    }
+                    extend(&mut last_use, body_start, latch_end);
                 }
             }
         }
     }
 
     // Sweep: +1 at def, −1 after last use.
-    let mut events: Vec<(usize, i32)> = Vec::with_capacity(def_pos.len() * 2);
-    for (reg, def) in &def_pos {
+    let mut events: Vec<(usize, i32)> = Vec::with_capacity(nregs * 2);
+    for (def, lu) in def_pos.iter().zip(last_use.iter()) {
+        if *def == UNSEEN {
+            continue;
+        }
         events.push((*def, 1));
-        events.push((last_use[reg] + 1, -1));
+        events.push((lu + 1, -1));
     }
-    events.sort();
+    events.sort_unstable();
     let mut live = 0i32;
     let mut peak = 0i32;
     for (_, delta) in events {

@@ -1,16 +1,16 @@
 //! The umbrella analyzer: everything the paper's tool produces, in one
 //! call.
 
-use crate::divergence::{analyze_divergence, DivergenceReport};
+use crate::divergence::{analyze_divergence_with, DivergenceReport};
 use crate::mix::MixReport;
 use crate::occupancy::OccupancyAnalysis;
 use crate::pipeline::PipelineUtilization;
-use crate::predict::predict_time_with;
+use crate::predict::predict_time_indexed;
 use crate::rules;
 use crate::suggest::{suggest_from, Suggestion};
 use oriole_arch::{GpuSpec, OccupancyInput, OccupancyTable, ThroughputTable};
 use oriole_codegen::CompiledKernel;
-use oriole_ir::{text, LaunchGeometry, ParseError, Program};
+use oriole_ir::{text, LaunchGeometry, ParseError, Program, ProgramIndex};
 use std::fmt::Write as _;
 
 /// The combined static analysis of one kernel configuration: the
@@ -44,9 +44,12 @@ pub struct StaticAnalysis {
     pub predicted_time: f64,
 }
 
-/// Analyzes a compiled kernel at problem size `n`.
+/// Analyzes a compiled kernel at problem size `n`, reusing the kernel's
+/// shared [`ProgramIndex`] for the mix, divergence and prediction
+/// phases.
 pub fn analyze(kernel: &CompiledKernel, n: u64) -> StaticAnalysis {
     analyze_program(
+        &kernel.index,
         &kernel.program,
         &kernel.gpu,
         None,
@@ -62,6 +65,7 @@ pub fn analyze(kernel: &CompiledKernel, n: u64) -> StaticAnalysis {
 pub fn analyze_in(table: &OccupancyTable, kernel: &CompiledKernel, n: u64) -> StaticAnalysis {
     debug_assert_eq!(*table.spec(), kernel.gpu, "table built for another device");
     analyze_program(
+        &kernel.index,
         &kernel.program,
         &kernel.gpu,
         Some(table),
@@ -87,16 +91,21 @@ pub fn analyze_disassembly(
             ),
         });
     }
-    Ok(analyze_program(&program, gpu, None, geometry))
+    // Parsed listings carry no prebuilt index; build one for this
+    // analysis (identical contents to the compiled path's, since the
+    // parse round-trips the program exactly).
+    let index = ProgramIndex::build(&program);
+    Ok(analyze_program(&index, &program, gpu, None, geometry))
 }
 
 fn analyze_program(
+    index: &ProgramIndex,
     program: &Program,
     gpu: &GpuSpec,
     table: Option<&OccupancyTable>,
     geometry: LaunchGeometry,
 ) -> StaticAnalysis {
-    let mix = MixReport::compute(program, geometry);
+    let mix = MixReport::compute_with(index, program, geometry);
     let occ_input = OccupancyInput {
         tc: geometry.tc,
         regs_per_thread: program.meta.regs_per_thread,
@@ -112,7 +121,7 @@ fn analyze_program(
     // (`analyze_disassembly` rejects mismatches up front).
     let throughput = ThroughputTable::for_family(gpu.family);
     let pipeline = PipelineUtilization::compute(&mix.expected_counts, throughput);
-    let divergence = analyze_divergence(program, geometry);
+    let divergence = analyze_divergence_with(index, program, geometry);
     let suggestion = match table {
         Some(t) => {
             crate::suggest::suggest_from_in(t, program.meta.regs_per_thread, program.meta.smem_static)
@@ -120,7 +129,7 @@ fn analyze_program(
         None => suggest_from(gpu, program.meta.regs_per_thread, program.meta.smem_static),
     };
     let rule_threads = rules::rule_based_threads(&suggestion.thread_counts, mix.intensity);
-    let predicted_time = predict_time_with(throughput, program, geometry);
+    let predicted_time = predict_time_indexed(throughput, index, program, geometry);
     StaticAnalysis {
         kernel_name: program.name.clone(),
         gpu: gpu.clone(),

@@ -6,7 +6,7 @@
 //! effect: how much instruction issue a warp wastes executing both sides
 //! of thread-dependent branches.
 
-use oriole_ir::{Cfg, LaunchGeometry, Program};
+use oriole_ir::{LaunchGeometry, Program, ProgramIndex};
 
 /// One divergent branch and its estimated cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,9 +57,90 @@ impl DivergenceReport {
     }
 }
 
-/// Analyzes divergence of `program` at `geom`.
+/// Analyzes divergence of `program` at `geom`, building a throwaway
+/// [`ProgramIndex`] first. Prefer [`analyze_divergence_with`] with the
+/// kernel's shared index on hot paths.
 pub fn analyze_divergence(program: &Program, geom: LaunchGeometry) -> DivergenceReport {
-    let cfg = Cfg::build(program);
+    analyze_divergence_with(&ProgramIndex::build(program), program, geom)
+}
+
+/// Analyzes divergence using a prebuilt index (the kernel's shared
+/// artifact): precomputed regions, no per-call CFG construction, and a
+/// branch-free fast path for divergence-free programs.
+pub fn analyze_divergence_with(
+    index: &ProgramIndex,
+    program: &Program,
+    geom: LaunchGeometry,
+) -> DivergenceReport {
+    let (n, tc, bc) = (geom.n, geom.tc, geom.bc);
+
+    if index.divergence_fast_path() {
+        // No divergent branch and no DivFraction factor anywhere: warp-
+        // and thread-level weights coincide bitwise for every block, so
+        // the totals are equal and the overhead is exactly their ratio
+        // (reproducing the walk's inf/inf → NaN edge case included).
+        let mut total_thread = 0.0;
+        for (block, s) in program.blocks.iter().zip(index.summaries()) {
+            total_thread += block.freq.eval_expected(n, tc, bc) * (s.instr_count as f64 + 1.0);
+        }
+        // t/t rather than a literal 1.0: a +inf total must yield NaN
+        // here, exactly as the walk's warp/thread division does.
+        #[allow(clippy::eq_op)]
+        let overall_overhead =
+            if total_thread > 0.0 { total_thread / total_thread } else { 1.0 };
+        return DivergenceReport { findings: Vec::new(), overall_overhead };
+    }
+
+    let block_cost = |weights_warp: bool, id: oriole_ir::BlockId| -> f64 {
+        let b = &program.blocks[id.0 as usize];
+        let w = if weights_warp {
+            b.freq.eval_warp(n, tc, bc)
+        } else {
+            b.freq.eval_expected(n, tc, bc)
+        };
+        w * (index.summary(id).instr_count as f64 + 1.0)
+    };
+
+    let mut findings = Vec::new();
+    for region in index.divergent_regions() {
+        let branch = &program.blocks[region.branch_block.0 as usize];
+        let mut warp_cost = 0.0;
+        let mut thread_cost = 0.0;
+        // Region bodies are sorted block-id vectors: the summation order
+        // is deterministic across processes and analysis paths.
+        for &b in &region.body {
+            warp_cost += block_cost(true, b);
+            thread_cost += block_cost(false, b);
+        }
+        findings.push(DivergenceFinding {
+            branch_label: branch.label.clone(),
+            reconverges_at: region
+                .reconvergence
+                .map(|r| program.blocks[r.0 as usize].label.clone()),
+            executions: branch.freq.eval_warp(n, tc, bc),
+            warp_cost,
+            thread_cost,
+        });
+    }
+
+    let mut total_warp = 0.0;
+    let mut total_thread = 0.0;
+    for i in 0..program.blocks.len() {
+        let id = oriole_ir::BlockId(i as u32);
+        total_warp += block_cost(true, id);
+        total_thread += block_cost(false, id);
+    }
+    let overall_overhead = if total_thread > 0.0 { total_warp / total_thread } else { 1.0 };
+
+    DivergenceReport { findings, overall_overhead }
+}
+
+/// The pre-index walk-based implementation, retained as the oracle the
+/// proptests compare against (region bodies summed in sorted order, as
+/// the indexed path does).
+#[cfg(test)]
+pub(crate) fn analyze_divergence_walk(program: &Program, geom: LaunchGeometry) -> DivergenceReport {
+    let cfg = oriole_ir::Cfg::build(program);
     let regions = cfg.divergent_regions(program);
     let (n, tc, bc) = (geom.n, geom.tc, geom.bc);
 
@@ -76,9 +157,11 @@ pub fn analyze_divergence(program: &Program, geom: LaunchGeometry) -> Divergence
     let mut findings = Vec::new();
     for region in &regions {
         let branch = &program.blocks[region.branch_block.0 as usize];
+        let mut body: Vec<oriole_ir::BlockId> = region.body.iter().copied().collect();
+        body.sort_unstable();
         let mut warp_cost = 0.0;
         let mut thread_cost = 0.0;
-        for &b in &region.body {
+        for &b in &body {
             warp_cost += block_cost(true, b);
             thread_cost += block_cost(false, b);
         }
@@ -179,5 +262,104 @@ mod tests {
             analyze_divergence(&p, LaunchGeometry::new(n, 128, 48)).overall_overhead
         };
         assert!(overhead(8) > overhead(64), "{} !> {}", overhead(8), overhead(64));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use oriole_arch::Family;
+    use oriole_ir::lower::{lower, LowerOptions};
+    use oriole_ir::{
+        AccessPattern, AluOp, Branch, DivergenceKind, KernelAst, Loop, MemSpace, MemStmt,
+        SizeExpr, Stmt, TripCount,
+    };
+    use proptest::prelude::*;
+
+    fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+        let alu = prop_oneof![
+            Just(AluOp::AddF32),
+            Just(AluOp::MulF32),
+            Just(AluOp::FmaF32),
+            Just(AluOp::DivF32),
+            Just(AluOp::SqrtF32),
+            Just(AluOp::AddI32),
+            Just(AluOp::CvtI32F32),
+        ];
+        let space = prop_oneof![
+            Just(MemSpace::Global),
+            Just(MemSpace::Shared),
+            Just(MemSpace::Constant),
+        ];
+        let pattern = prop_oneof![
+            Just(AccessPattern::Coalesced),
+            Just(AccessPattern::Broadcast),
+            Just(AccessPattern::Random),
+            (1u32..=64).prop_map(AccessPattern::Strided),
+        ];
+        let leaf = prop_oneof![
+            (alu, 1u32..4).prop_map(|(op, count)| Stmt::ops(op, count)),
+            (space.clone(), pattern.clone(), 1u32..3).prop_map(|(s, p, c)| Stmt::load(s, p, c)),
+            (space, pattern, 1u32..3).prop_map(|(s, p, c)| {
+                Stmt::Store(MemStmt { space: s, pattern: p, elem_bytes: 4, count: c })
+            }),
+            Just(Stmt::SyncThreads),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let trip = prop_oneof![
+            (1u64..=64).prop_map(TripCount::Const),
+            (0u8..=2).prop_map(|p| TripCount::Size(SizeExpr::new(1.0, p))),
+            (1u8..=2).prop_map(|p| TripCount::GridStride(SizeExpr::new(1.0, p))),
+        ];
+        let inner = arb_stmt(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            2 => (trip, prop::collection::vec(inner.clone(), 1..4), any::<bool>()).prop_map(
+                |(trip, body, unrollable)| Stmt::Loop(Loop { trip, body, unrollable })
+            ),
+            1 => (
+                prop_oneof![Just(DivergenceKind::Uniform), Just(DivergenceKind::ThreadDependent)],
+                0.0f64..=1.0,
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner, 0..3),
+            )
+                .prop_map(|(divergence, taken_fraction, then_body, else_body)| {
+                    Stmt::If(Branch { divergence, taken_fraction, then_body, else_body })
+                }),
+        ]
+        .boxed()
+    }
+
+    fn arb_kernel() -> impl Strategy<Value = KernelAst> {
+        prop::collection::vec(arb_stmt(2), 1..5).prop_map(|body| {
+            let mut k = KernelAst::new("div_prop");
+            k.body = body;
+            k
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn indexed_divergence_bit_identical(
+            ast in arb_kernel(),
+            fast in any::<bool>(),
+            n in 1u64..256,
+            tc_i in 0usize..4,
+            bc in 1u32..49,
+        ) {
+            let tc = [32u32, 128, 512, 1024][tc_i];
+            let p = lower(&ast, Family::Kepler, LowerOptions { fast_math: fast });
+            let geom = LaunchGeometry::new(n, tc, bc);
+            let indexed =
+                analyze_divergence_with(&oriole_ir::ProgramIndex::build(&p), &p, geom);
+            let walk = analyze_divergence_walk(&p, geom);
+            prop_assert_eq!(&indexed, &walk);
+            // The convenience wrapper builds an equivalent throwaway index.
+            prop_assert_eq!(&analyze_divergence(&p, geom), &walk);
+        }
     }
 }

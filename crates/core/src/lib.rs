@@ -45,10 +45,10 @@ pub mod suggest;
 mod analyzer;
 
 pub use analyzer::{analyze, analyze_disassembly, analyze_in, StaticAnalysis};
-pub use divergence::{DivergenceFinding, DivergenceReport};
+pub use divergence::{analyze_divergence, analyze_divergence_with, DivergenceFinding, DivergenceReport};
 pub use mix::MixReport;
 pub use occupancy::OccupancyAnalysis;
 pub use pipeline::PipelineUtilization;
-pub use predict::{mae, normalize, predict_time, PredictedSeries};
+pub use predict::{mae, normalize, predict_time, predict_time_indexed, PredictedSeries};
 pub use rules::{ThreadRange, INTENSITY_THRESHOLD};
 pub use suggest::Suggestion;

@@ -6,7 +6,7 @@
 //! relatively balanced."
 
 use oriole_arch::{OpClass, ALL_OP_CLASSES};
-use oriole_ir::{count, ClassMix, LaunchGeometry, MixCounts, Program};
+use oriole_ir::{count, ClassMix, LaunchGeometry, MixCounts, Program, ProgramIndex};
 use std::fmt;
 
 /// The mix analysis of one kernel at one launch geometry.
@@ -46,10 +46,25 @@ impl fmt::Display for KernelCharacter {
 }
 
 impl MixReport {
-    /// Analyzes `program` at `geom`.
+    /// Analyzes `program` at `geom` by walking the instruction vectors
+    /// directly. Prefer [`MixReport::compute_with`] with the kernel's
+    /// shared index on hot paths; both produce bit-identical reports.
     pub fn compute(program: &Program, geom: LaunchGeometry) -> MixReport {
         let static_counts = count::static_mix(program);
         let expected_counts = count::expected_mix(program, geom);
+        let classes = expected_counts.classes();
+        MixReport { static_counts, expected_counts, intensity: classes.intensity(), classes }
+    }
+
+    /// [`MixReport::compute`] replaying the prebuilt index's per-block
+    /// summary tapes instead of re-walking `Instr` vectors.
+    pub fn compute_with(
+        index: &ProgramIndex,
+        program: &Program,
+        geom: LaunchGeometry,
+    ) -> MixReport {
+        let static_counts = index.static_mix();
+        let expected_counts = index.expected_mix(program, geom);
         let classes = expected_counts.classes();
         MixReport { static_counts, expected_counts, intensity: classes.intensity(), classes }
     }

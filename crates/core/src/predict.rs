@@ -27,7 +27,7 @@
 //! lookup, so pick whichever reads better at the call site.
 
 use oriole_arch::{InstrClass, ThroughputTable};
-use oriole_ir::{count, LaunchGeometry, Program};
+use oriole_ir::{count, LaunchGeometry, Program, ProgramIndex};
 
 /// Eq. 6: predicted execution cost of one kernel launch at geometry
 /// `geom`, from the *static* (trip-count-weighted) per-thread mix.
@@ -44,6 +44,24 @@ pub fn predict_time(program: &Program, geom: LaunchGeometry) -> f64 {
 /// [`predict_time`] when `table` matches the program's family.
 pub fn predict_time_with(table: &ThroughputTable, program: &Program, geom: LaunchGeometry) -> f64 {
     let classes = count::expected_mix(program, geom).classes();
+    eq6(table, classes)
+}
+
+/// [`predict_time_with`] replaying the prebuilt index's per-block mix
+/// tapes instead of re-walking `Instr` vectors. The tape preserves the
+/// walk's record order and weights, so the result is bit-identical.
+pub fn predict_time_indexed(
+    table: &ThroughputTable,
+    index: &ProgramIndex,
+    program: &Program,
+    geom: LaunchGeometry,
+) -> f64 {
+    let classes = index.expected_mix(program, geom).classes();
+    eq6(table, classes)
+}
+
+/// The Eq. 6 dot product shared by the walk and indexed entry points.
+fn eq6(table: &ThroughputTable, classes: oriole_ir::ClassMix) -> f64 {
     let cf = table.class_cpi(InstrClass::Flops);
     let cm = table.class_cpi(InstrClass::Mem);
     let cb = table.class_cpi(InstrClass::Ctrl);

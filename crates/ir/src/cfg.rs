@@ -10,7 +10,7 @@
 //! sides.
 
 use crate::block::{BlockId, Program, Terminator};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A natural loop discovered in the CFG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,17 +106,7 @@ impl Cfg {
 
     /// Whether `a` dominates `b` (reflexive).
     pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        let mut cur = b;
-        loop {
-            if cur == a {
-                return true;
-            }
-            let next = self.idom(cur);
-            if next == cur {
-                return false;
-            }
-            cur = next;
-        }
+        dominates_in(&self.idom, a, b)
     }
 
     /// Natural loops: back edges `latch → header` where the header
@@ -124,76 +114,117 @@ impl Cfg {
     /// [`Terminator::LoopBack`] edges lowering produces and any
     /// parser-constructed equivalents).
     pub fn natural_loops(&self, program: &Program) -> Vec<NaturalLoop> {
-        let mut loops = Vec::new();
-        for (i, b) in program.blocks.iter().enumerate() {
-            let latch = BlockId(i as u32);
-            for target in b.term.successors() {
-                if self.dominates(target, latch) {
-                    loops.push(NaturalLoop {
-                        header: target,
-                        latch,
-                        body: self.loop_body(target, latch),
-                    });
-                }
-            }
-        }
-        loops.sort_by_key(|l| (l.header, l.latch));
-        loops
-    }
-
-    /// Blocks of the natural loop for back edge `latch → header`:
-    /// header plus all blocks that reach the latch without passing
-    /// through the header.
-    fn loop_body(&self, header: BlockId, latch: BlockId) -> HashSet<BlockId> {
-        let mut body = HashSet::from([header, latch]);
-        let mut stack = vec![latch];
-        while let Some(b) = stack.pop() {
-            for &p in self.predecessors(b) {
-                if !body.contains(&p) {
-                    body.insert(p);
-                    stack.push(p);
-                }
-            }
-        }
-        // Keep only blocks dominated by the header (well-formed natural
-        // loop membership; guards against irreducible shapes from
-        // hand-written disassembly).
-        body.retain(|&b| self.dominates(header, b));
-        body
+        natural_loops_in(program, &self.preds, &self.idom)
     }
 
     /// Divergent regions: for every divergent conditional branch, the set
     /// of blocks between it and its reconvergence point.
     pub fn divergent_regions(&self, program: &Program) -> Vec<DivergentRegion> {
-        let mut regions = Vec::new();
-        for (i, b) in program.blocks.iter().enumerate() {
-            let branch_block = BlockId(i as u32);
-            let Terminator::CondBranch { divergent: true, .. } = &b.term else {
-                continue;
-            };
-            let reconvergence = self.ipostdom(branch_block);
-            let mut body = HashSet::new();
-            // Walk forward from each successor until the reconvergence
-            // point (or exit).
-            for s in b.term.successors() {
-                let mut stack = vec![s];
-                while let Some(cur) = stack.pop() {
-                    if Some(cur) == reconvergence || cur == branch_block {
-                        continue;
-                    }
-                    if body.insert(cur) {
-                        stack.extend(self.successors(cur).iter().copied());
-                    }
-                }
-            }
-            regions.push(DivergentRegion { branch_block, reconvergence, body });
-        }
-        regions
+        divergent_regions_in(program, &self.succs, &self.ipostdom)
     }
 }
 
+/// Whether `a` dominates `b` (reflexive) in a materialized idom tree.
+pub(crate) fn dominates_in(idom: &[BlockId], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        let next = idom[cur.0 as usize];
+        if next == cur {
+            return false;
+        }
+        cur = next;
+    }
+}
+
+/// Natural-loop detection over precomputed predecessors + dominators
+/// (shared by [`Cfg`] and [`crate::index::ProgramIndex`]).
+pub(crate) fn natural_loops_in(
+    program: &Program,
+    preds: &[Vec<BlockId>],
+    idom: &[BlockId],
+) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for (i, b) in program.blocks.iter().enumerate() {
+        let latch = BlockId(i as u32);
+        for target in b.term.successors() {
+            if dominates_in(idom, target, latch) {
+                loops.push(NaturalLoop {
+                    header: target,
+                    latch,
+                    body: loop_body(preds, idom, target, latch),
+                });
+            }
+        }
+    }
+    loops.sort_by_key(|l| (l.header, l.latch));
+    loops
+}
+
+/// Blocks of the natural loop for back edge `latch → header`:
+/// header plus all blocks that reach the latch without passing
+/// through the header.
+fn loop_body(
+    preds: &[Vec<BlockId>],
+    idom: &[BlockId],
+    header: BlockId,
+    latch: BlockId,
+) -> HashSet<BlockId> {
+    let mut body = HashSet::from([header, latch]);
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        for &p in &preds[b.0 as usize] {
+            if !body.contains(&p) {
+                body.insert(p);
+                stack.push(p);
+            }
+        }
+    }
+    // Keep only blocks dominated by the header (well-formed natural
+    // loop membership; guards against irreducible shapes from
+    // hand-written disassembly).
+    body.retain(|&b| dominates_in(idom, header, b));
+    body
+}
+
+/// Divergent-region detection over precomputed successors +
+/// postdominators (shared by [`Cfg`] and
+/// [`crate::index::ProgramIndex`]).
+pub(crate) fn divergent_regions_in(
+    program: &Program,
+    succs: &[Vec<BlockId>],
+    ipostdom: &[Option<BlockId>],
+) -> Vec<DivergentRegion> {
+    let mut regions = Vec::new();
+    for (i, b) in program.blocks.iter().enumerate() {
+        let branch_block = BlockId(i as u32);
+        let Terminator::CondBranch { divergent: true, .. } = &b.term else {
+            continue;
+        };
+        let reconvergence = ipostdom[i];
+        let mut body = HashSet::new();
+        // Walk forward from each successor until the reconvergence
+        // point (or exit).
+        for s in b.term.successors() {
+            let mut stack = vec![s];
+            while let Some(cur) = stack.pop() {
+                if Some(cur) == reconvergence || cur == branch_block {
+                    continue;
+                }
+                if body.insert(cur) {
+                    stack.extend(succs[cur.0 as usize].iter().copied());
+                }
+            }
+        }
+        regions.push(DivergentRegion { branch_block, reconvergence, body });
+    }
+    regions
+}
+
 /// Reverse postorder over the successor graph from block 0.
-fn reverse_postorder(n: usize, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+pub(crate) fn reverse_postorder(n: usize, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
     let mut visited = vec![false; n];
     let mut postorder = Vec::with_capacity(n);
     // Iterative DFS with explicit phase marking.
@@ -221,20 +252,24 @@ fn reverse_postorder(n: usize, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
 }
 
 /// Cooper–Harvey–Kennedy iterative dominators.
-fn dominators(n: usize, preds: &[Vec<BlockId>], rpo: &[BlockId]) -> Vec<BlockId> {
+pub(crate) fn dominators(n: usize, preds: &[Vec<BlockId>], rpo: &[BlockId]) -> Vec<BlockId> {
     let mut idom: Vec<Option<BlockId>> = vec![None; n];
     if n == 0 {
         return Vec::new();
     }
     idom[0] = Some(BlockId(0));
-    let rpo_index: HashMap<BlockId, usize> =
-        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    // Dense RPO position map indexed by `BlockId.0`; `usize::MAX` marks
+    // blocks unreachable from the entry.
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
     let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
         while a != b {
-            while rpo_index[&a] > rpo_index[&b] {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
                 a = idom[a.0 as usize].expect("processed");
             }
-            while rpo_index[&b] > rpo_index[&a] {
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
                 b = idom[b.0 as usize].expect("processed");
             }
         }
@@ -246,7 +281,7 @@ fn dominators(n: usize, preds: &[Vec<BlockId>], rpo: &[BlockId]) -> Vec<BlockId>
         for &b in rpo.iter().skip(1) {
             let mut new_idom: Option<BlockId> = None;
             for &p in &preds[b.0 as usize] {
-                if idom[p.0 as usize].is_none() || !rpo_index.contains_key(&p) {
+                if idom[p.0 as usize].is_none() || rpo_index[p.0 as usize] == usize::MAX {
                     continue;
                 }
                 new_idom = Some(match new_idom {
@@ -270,7 +305,7 @@ fn dominators(n: usize, preds: &[Vec<BlockId>], rpo: &[BlockId]) -> Vec<BlockId>
 
 /// Postdominators via dominators of the reversed graph, using a virtual
 /// exit that all `Ret` blocks feed.
-fn postdominators(
+pub(crate) fn postdominators(
     n: usize,
     succs: &[Vec<BlockId>],
     program: &Program,
@@ -322,16 +357,20 @@ fn postdominators(
         postorder.reverse();
         postorder
     };
-    let rpo_index: HashMap<BlockId, usize> =
-        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    // Dense RPO position map over the reversed graph (virtual exit
+    // included); `usize::MAX` marks blocks that cannot reach an exit.
+    let mut rpo_index = vec![usize::MAX; n + 1];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
     let mut idom: Vec<Option<BlockId>> = vec![None; n + 1];
     idom[virt] = Some(BlockId(virt as u32));
     let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
         while a != b {
-            while rpo_index[&a] > rpo_index[&b] {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
                 a = idom[a.0 as usize].expect("processed");
             }
-            while rpo_index[&b] > rpo_index[&a] {
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
                 b = idom[b.0 as usize].expect("processed");
             }
         }
@@ -343,7 +382,7 @@ fn postdominators(
         for &b in rpo.iter().skip(1) {
             let mut new_idom: Option<BlockId> = None;
             for &p in &rpreds[b.0 as usize] {
-                if idom[p.0 as usize].is_none() || !rpo_index.contains_key(&p) {
+                if idom[p.0 as usize].is_none() || rpo_index[p.0 as usize] == usize::MAX {
                     continue;
                 }
                 new_idom = Some(match new_idom {

@@ -16,6 +16,10 @@
 //! * [`cfg`] — control-flow graph construction, dominators,
 //!   post-dominators, natural-loop detection and divergent-region
 //!   analysis.
+//! * [`index`] — the per-lowered-program [`ProgramIndex`] artifact:
+//!   Vec-indexed CFG, precomputed loops/divergent regions, and per-block
+//!   summary tapes, built once per front-end artifact and shared by every
+//!   analysis phase (with a branch-free fast path for linear programs).
 //! * [`text`] — a textual "disassembly" format with a full parser, so the
 //!   static analyzer can consume programs the way the paper's tool
 //!   consumes `nvdisasm` output (emit → parse round-trips exactly).
@@ -34,6 +38,7 @@ pub mod ast;
 pub mod block;
 pub mod cfg;
 pub mod count;
+pub mod index;
 pub mod instr;
 pub mod isa;
 pub mod lower;
@@ -46,6 +51,7 @@ pub use ast::{
 pub use block::{BasicBlock, BlockId, FreqExpr, Program, ProgramMeta, Terminator};
 pub use cfg::{Cfg, DivergentRegion, NaturalLoop};
 pub use count::{expected_mix, expected_mix_of, static_mix, ClassMix, LaunchGeometry, MixCounts};
+pub use index::{BlockSummary, DivRegion, ProfileEvent, ProgramIndex, TermClass};
 pub use instr::{Instr, MemAnnot, Operand, Pred, Reg, SpecialReg};
 pub use isa::{CmpOp, OpKind, Opcode, Ty};
 pub use lower::lower;

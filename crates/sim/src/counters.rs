@@ -11,7 +11,7 @@
 
 use oriole_arch::OpClass;
 use oriole_codegen::CompiledKernel;
-use oriole_ir::{MixCounts, Terminator, TripCount};
+use oriole_ir::MixCounts;
 
 /// Whole-grid dynamic instruction mix for one execution at problem size
 /// `n` (thread-slot granularity: warp executions × 32).
@@ -28,10 +28,58 @@ use oriole_ir::{MixCounts, Terminator, TripCount};
 /// The gap between this and [`oriole_ir::expected_mix`] is the paper's
 /// Table VI estimation error.
 pub fn dynamic_mix(kernel: &CompiledKernel, n: u64) -> MixCounts {
+    let index = &kernel.index;
     let params = kernel.params;
     let (tc, bc) = (params.tc, params.bc);
     let threads = f64::from(tc) * f64::from(bc);
-    // Work items exposed by the kernel's grid-stride loops.
+    // Work items exposed by the kernel's grid-stride loops (precomputed
+    // by the index at front-end time).
+    let items = index.grid_stride_items(n).unwrap_or(threads);
+    let busy_threads = threads.min(items.max(1.0));
+    let busy_blocks = ((busy_threads / f64::from(tc)).ceil().max(1.0) as u32).min(bc);
+    let idle_blocks = bc - busy_blocks;
+    let wb = f64::from(tc.div_ceil(32));
+    let busy_warps = f64::from(busy_blocks) * wb;
+    let idle_warps = f64::from(idle_blocks) * wb;
+
+    // Divergence-free programs have warp saturation exactly 1.0 in every
+    // block; skipping the three frequency evaluations per block is
+    // bit-identical (`x * 1.0 == x` bitwise).
+    let saturated = !index.divergence_fast_path();
+
+    let mut mix = MixCounts::new();
+    for (block, s) in kernel.program.blocks.iter().zip(index.summaries()) {
+        // Busy warps: ceil-quantized warp-level execution at the busy
+        // geometry, with divergence saturation applied on top.
+        let mut w_busy = block.freq.eval(n, tc, busy_blocks.max(1));
+        if saturated {
+            w_busy *= warp_saturation(block, n, tc, busy_blocks.max(1));
+        }
+        // Idle warps: prologue/guard work only — evaluate with the
+        // problem size zeroed so every data loop contributes nothing.
+        let w_idle = block.freq.eval_expected(0, tc, bc);
+        let slots = (w_busy * busy_warps + w_idle * idle_warps) * 32.0;
+        if slots <= 0.0 {
+            continue;
+        }
+        for &(class, m) in &s.mix_tape {
+            mix.record(class, slots * m);
+        }
+        if s.has_ctrl() {
+            mix.record(OpClass::CtrlIns, slots);
+        }
+    }
+    mix
+}
+
+/// The pre-index walk-based implementation, retained as the oracle the
+/// proptests compare against.
+#[cfg(test)]
+pub(crate) fn dynamic_mix_walk(kernel: &CompiledKernel, n: u64) -> MixCounts {
+    use oriole_ir::{Terminator, TripCount};
+    let params = kernel.params;
+    let (tc, bc) = (params.tc, params.bc);
+    let threads = f64::from(tc) * f64::from(bc);
     let items = kernel
         .program
         .blocks
@@ -51,12 +99,8 @@ pub fn dynamic_mix(kernel: &CompiledKernel, n: u64) -> MixCounts {
 
     let mut mix = MixCounts::new();
     for block in &kernel.program.blocks {
-        // Busy warps: ceil-quantized warp-level execution at the busy
-        // geometry, with divergence saturation applied on top.
         let w_busy = block.freq.eval(n, tc, busy_blocks.max(1))
             * warp_saturation(block, n, tc, busy_blocks.max(1));
-        // Idle warps: prologue/guard work only — evaluate with the
-        // problem size zeroed so every data loop contributes nothing.
         let w_idle = block.freq.eval_expected(0, tc, bc);
         let slots = (w_busy * busy_warps + w_idle * idle_warps) * 32.0;
         if slots <= 0.0 {
@@ -157,5 +201,28 @@ mod tests {
         let classes = dynamic_mix(&k, 128).classes();
         assert!(classes.reg > classes.flops);
         assert!(classes.reg > classes.mem);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::testgen::{arb_kernel, arb_params};
+    use oriole_arch::Gpu;
+    use oriole_codegen::compile;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn indexed_dynamic_mix_bit_identical(
+            ast in arb_kernel(),
+            params in arb_params(),
+            n in 1u64..256,
+        ) {
+            let kernel = compile(&ast, Gpu::K20.spec(), params).expect("valid point");
+            prop_assert_eq!(dynamic_mix(&kernel, n), dynamic_mix_walk(&kernel, n));
+        }
     }
 }

@@ -59,6 +59,9 @@ pub mod model;
 pub mod noise;
 pub mod profile;
 
+#[cfg(test)]
+pub(crate) mod testgen;
+
 pub use config::SimConfig;
 pub use context::{ModelContext, ModelStats, ProgramKey};
 pub use counters::dynamic_mix;

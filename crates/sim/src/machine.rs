@@ -20,7 +20,6 @@ use crate::config::SimConfig;
 use crate::profile::WarpProfile;
 use oriole_arch::{occupancy, Family, Limiter, Occupancy, OccupancyInput};
 use oriole_codegen::{CompiledKernel, PreferredL1};
-use oriole_ir::{Terminator, TripCount};
 use std::fmt;
 
 /// Which roofline bound determined the execution time.
@@ -121,16 +120,11 @@ pub(crate) fn occ_input_of(kernel: &CompiledKernel) -> OccupancyInput {
 
 /// Largest grid-stride item count in the program, i.e. how much
 /// parallelism the kernel actually exposes at problem size `n`
-/// (`None` when the kernel has no grid-stride loop).
+/// (`None` when the kernel has no grid-stride loop). Served from the
+/// kernel's shared index — the stride expressions were collected once at
+/// front-end time.
 fn grid_items(kernel: &CompiledKernel, n: u64) -> Option<f64> {
-    let mut items: Option<f64> = None;
-    for block in &kernel.program.blocks {
-        if let Terminator::LoopBack { trip: TripCount::GridStride(s), .. } = &block.term {
-            let v = s.eval(n);
-            items = Some(items.map_or(v, |cur: f64| cur.max(v)));
-        }
-    }
-    items
+    kernel.index.grid_stride_items(n)
 }
 
 /// Simulates one execution with the family-default [`SimConfig`].
@@ -189,9 +183,16 @@ pub(crate) fn simulate_via(
     let blocks_per_sm = busy_blocks.div_ceil(waves * busy_sms).min(occ.active_blocks);
     let resident_warps = (blocks_per_sm * wb).min(spec.warps_per_mp);
 
-    // Per-busy-warp profile: weights evaluated at the busy geometry.
-    let profile =
-        WarpProfile::extract(&kernel.program, cfg, n, params.tc, busy_blocks.max(1));
+    // Per-busy-warp profile: weights evaluated at the busy geometry,
+    // replayed from the kernel's shared index.
+    let profile = WarpProfile::extract_with(
+        &kernel.index,
+        &kernel.program,
+        cfg,
+        n,
+        params.tc,
+        busy_blocks.max(1),
+    );
 
     // Synchronization / divergence surcharges (per warp).
     let barrier_cost =

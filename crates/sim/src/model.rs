@@ -194,8 +194,9 @@ impl TimingModel for SimulatorModel {
 }
 
 /// The Eq. 6 backend: wraps
-/// [`oriole_core::predict::predict_time_with`] — the paper's purely
-/// static CPI × expected-mix predictor — behind the model seam.
+/// [`oriole_core::predict::predict_time_indexed`] — the paper's purely
+/// static CPI × expected-mix predictor, replayed from the kernel's
+/// shared program index — behind the model seam.
 ///
 /// The report's `time_ms` carries the Eq. 6 cost in *model units* (the
 /// same quantity Fig. 5 normalizes), the occupancy fields come from
@@ -217,8 +218,12 @@ impl TimingModel for StaticPredictModel {
     ) -> Result<SimReport, SimError> {
         let occ = env.launch_occupancy(kernel)?;
         let table = kernel.gpu.throughput();
-        let cost =
-            oriole_core::predict::predict_time_with(table, &kernel.program, kernel.geometry(n));
+        let cost = oriole_core::predict::predict_time_indexed(
+            table,
+            &kernel.index,
+            &kernel.program,
+            kernel.geometry(n),
+        );
         Ok(SimReport {
             time_ms: cost,
             bound: BoundKind::Issue,
@@ -266,7 +271,14 @@ impl TimingModel for RooflineModel {
         let params = kernel.params;
         let wb = spec.warps_per_block(params.tc);
         let warps_total = f64::from(params.bc) * f64::from(wb);
-        let profile = WarpProfile::extract(&kernel.program, env.cfg, n, params.tc, params.bc);
+        let profile = WarpProfile::extract_with(
+            &kernel.index,
+            &kernel.program,
+            env.cfg,
+            n,
+            params.tc,
+            params.bc,
+        );
 
         let mp = spec.multiprocessors;
         let t_issue =

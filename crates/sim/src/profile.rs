@@ -8,7 +8,7 @@
 //! barrier and divergent-branch executions, and spill traffic.
 
 use crate::config::SimConfig;
-use oriole_ir::{AccessPattern, MemSpace, OpKind, Program, Terminator};
+use oriole_ir::{AccessPattern, MemSpace, ProfileEvent, Program, ProgramIndex, TermClass};
 use oriole_arch::{OpClass, ThroughputTable};
 
 /// Aggregated per-warp costs (averaged over the busy warps of a launch).
@@ -42,12 +42,103 @@ impl WarpProfile {
     }
 
     /// Extracts the profile of `program` at warp-level weights for
-    /// geometry `(n, tc, bc)`.
+    /// geometry `(n, tc, bc)`, building a throwaway [`ProgramIndex`]
+    /// first. Prefer [`WarpProfile::extract_with`] with the kernel's
+    /// shared index on hot paths; both produce bit-identical profiles.
     ///
     /// Pass the *busy* block count as `bc` to obtain per-busy-warp costs
     /// (idle blocks fail their range guards immediately and are handled
     /// by the machine model's dispatch term instead).
     pub fn extract(program: &Program, cfg: &SimConfig, n: u64, tc: u32, bc: u32) -> WarpProfile {
+        WarpProfile::extract_with(&ProgramIndex::build(program), program, cfg, n, tc, bc)
+    }
+
+    /// [`WarpProfile::extract`] replaying the prebuilt index's per-block
+    /// profile tapes instead of re-matching `Instr` vectors. Latencies
+    /// and replay counts stay resolved here at query time (the tape
+    /// records *what* accesses happen, [`SimConfig`] says what they
+    /// cost), so one index serves every device configuration.
+    pub fn extract_with(
+        index: &ProgramIndex,
+        program: &Program,
+        cfg: &SimConfig,
+        n: u64,
+        tc: u32,
+        bc: u32,
+    ) -> WarpProfile {
+        let table = ThroughputTable::for_family(program.meta.family);
+        let issue_of = |class: OpClass| 32.0 / f64::from(table.ipc(class));
+        let mut p = WarpProfile::default();
+
+        let mut hottest_weight: f64 = 0.0;
+        for (block, s) in program.blocks.iter().zip(index.summaries()) {
+            let w = block.freq.eval_warp(n, tc, bc);
+            if w <= 0.0 {
+                continue;
+            }
+            hottest_weight = hottest_weight.max(w);
+            for ev in &s.profile_tape {
+                match *ev {
+                    ProfileEvent::Mem { class, space, pattern } => {
+                        let (replays, latency, dram) = service(cfg, space, pattern);
+                        p.issue_cycles += issue_of(class) * replays * w;
+                        p.mem_ops += w;
+                        p.latency_weighted += latency * w;
+                        p.dram_transactions += dram * w;
+                    }
+                    ProfileEvent::Bar { class } => {
+                        p.barriers += w;
+                        p.issue_cycles += issue_of(class) * w;
+                    }
+                    ProfileEvent::Issue { class } => {
+                        p.issue_cycles += issue_of(class) * w;
+                    }
+                }
+            }
+            match s.term {
+                TermClass::Ctrl => {
+                    p.issue_cycles += issue_of(OpClass::CtrlIns) * w;
+                }
+                TermClass::CondBranch { divergent } => {
+                    p.issue_cycles += issue_of(OpClass::CtrlIns) * w;
+                    if divergent {
+                        p.divergent_branches += w;
+                    }
+                }
+                TermClass::Ret => {}
+            }
+        }
+
+        // Register spills: each spilled value is stored and reloaded in
+        // the hottest region (the allocator spills what's live across the
+        // busiest loop). Spilled traffic is local memory: per-thread
+        // addresses interleave, so accesses coalesce (1 transaction) but
+        // pay L2-class latency. Spill bytes live in `program.meta`, not
+        // the index: specialization fills them in after the shared index
+        // is built.
+        let spilled_regs = f64::from(program.meta.spill_bytes) / 4.0;
+        if spilled_regs > 0.0 && hottest_weight > 0.0 {
+            let ops = 2.0 * spilled_regs * hottest_weight;
+            let (replays, latency, dram) = service(cfg, MemSpace::Local, AccessPattern::Coalesced);
+            p.issue_cycles += issue_of(OpClass::LdStIns) * replays * ops;
+            p.mem_ops += ops;
+            p.latency_weighted += latency * ops;
+            p.dram_transactions += dram * ops;
+        }
+        p
+    }
+
+    /// The pre-index walk-based implementation, retained as the oracle
+    /// the proptests compare against.
+    #[cfg(test)]
+    pub(crate) fn extract_walk(
+        program: &Program,
+        cfg: &SimConfig,
+        n: u64,
+        tc: u32,
+        bc: u32,
+    ) -> WarpProfile {
+        use oriole_ir::{OpKind, Terminator};
         let table = ThroughputTable::for_family(program.meta.family);
         let issue_of = |class: OpClass| 32.0 / f64::from(table.ipc(class));
         let mut p = WarpProfile::default();
@@ -104,11 +195,6 @@ impl WarpProfile {
             }
         }
 
-        // Register spills: each spilled value is stored and reloaded in
-        // the hottest region (the allocator spills what's live across the
-        // busiest loop). Spilled traffic is local memory: per-thread
-        // addresses interleave, so accesses coalesce (1 transaction) but
-        // pay L2-class latency.
         let spilled_regs = f64::from(program.meta.spill_bytes) / 4.0;
         if spilled_regs > 0.0 && hottest_weight > 0.0 {
             let ops = 2.0 * spilled_regs * hottest_weight;
@@ -326,5 +412,42 @@ mod tests {
         assert!(spilled.dram_transactions > clean.dram_transactions);
         assert!(spilled.mem_ops > clean.mem_ops);
         assert!(spilled.issue_cycles > clean.issue_cycles);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::testgen::arb_kernel;
+    use oriole_arch::Family;
+    use oriole_ir::lower::{lower, LowerOptions};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn indexed_profile_bit_identical(
+            ast in arb_kernel(),
+            fast in any::<bool>(),
+            n in 1u64..256,
+            tc_i in 0usize..4,
+            bc in 1u32..49,
+            spilled_regs in 0u32..8,
+        ) {
+            let tc = [32u32, 128, 512, 1024][tc_i];
+            let mut p = lower(&ast, Family::Kepler, LowerOptions { fast_math: fast });
+            // The index is meta-independent: build it before the spill
+            // bytes land, as the front end does.
+            let idx = ProgramIndex::build(&p);
+            p.meta.spill_bytes = spilled_regs * 4;
+            let cfg = SimConfig::for_family(Family::Kepler);
+            let indexed = WarpProfile::extract_with(&idx, &p, &cfg, n, tc, bc);
+            let walk = WarpProfile::extract_walk(&p, &cfg, n, tc, bc);
+            prop_assert_eq!(&indexed, &walk);
+            // The convenience wrapper builds an equivalent throwaway
+            // index.
+            prop_assert_eq!(&WarpProfile::extract(&p, &cfg, n, tc, bc), &walk);
+        }
     }
 }

@@ -1,0 +1,85 @@
+//! Shared random-AST / random-point generators for this crate's unit
+//! proptests (bit-identity checks of the index-replayed analyses
+//! against their retained walk-based oracles).
+
+use oriole_codegen::TuningParams;
+use oriole_ir::{
+    AccessPattern, AluOp, Branch, DivergenceKind, KernelAst, Loop, MemSpace, MemStmt, SizeExpr,
+    Stmt, TripCount,
+};
+use proptest::prelude::*;
+
+pub(crate) fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let alu = prop_oneof![
+        Just(AluOp::AddF32),
+        Just(AluOp::MulF32),
+        Just(AluOp::FmaF32),
+        Just(AluOp::DivF32),
+        Just(AluOp::SqrtF32),
+        Just(AluOp::AddI32),
+        Just(AluOp::CvtI32F32),
+    ];
+    let space = prop_oneof![
+        Just(MemSpace::Global),
+        Just(MemSpace::Shared),
+        Just(MemSpace::Constant),
+    ];
+    let pattern = prop_oneof![
+        Just(AccessPattern::Coalesced),
+        Just(AccessPattern::Broadcast),
+        Just(AccessPattern::Random),
+        (1u32..=64).prop_map(AccessPattern::Strided),
+    ];
+    let leaf = prop_oneof![
+        (alu, 1u32..4).prop_map(|(op, count)| Stmt::ops(op, count)),
+        (space.clone(), pattern.clone(), 1u32..3).prop_map(|(s, p, c)| Stmt::load(s, p, c)),
+        (space, pattern, 1u32..3).prop_map(|(s, p, c)| {
+            Stmt::Store(MemStmt { space: s, pattern: p, elem_bytes: 4, count: c })
+        }),
+        Just(Stmt::SyncThreads),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let trip = prop_oneof![
+        (1u64..=64).prop_map(TripCount::Const),
+        (0u8..=2).prop_map(|p| TripCount::Size(SizeExpr::new(1.0, p))),
+        (1u8..=2).prop_map(|p| TripCount::GridStride(SizeExpr::new(1.0, p))),
+    ];
+    let inner = arb_stmt(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        2 => (trip, prop::collection::vec(inner.clone(), 1..4), any::<bool>()).prop_map(
+            |(trip, body, unrollable)| Stmt::Loop(Loop { trip, body, unrollable })
+        ),
+        1 => (
+            prop_oneof![Just(DivergenceKind::Uniform), Just(DivergenceKind::ThreadDependent)],
+            0.0f64..=1.0,
+            prop::collection::vec(inner.clone(), 1..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(divergence, taken_fraction, then_body, else_body)| {
+                Stmt::If(Branch { divergence, taken_fraction, then_body, else_body })
+            }),
+    ]
+    .boxed()
+}
+
+pub(crate) fn arb_kernel() -> impl Strategy<Value = KernelAst> {
+    prop::collection::vec(arb_stmt(2), 1..5).prop_map(|body| {
+        let mut k = KernelAst::new("sim_prop");
+        k.body = body;
+        k
+    })
+}
+
+/// Valid tuning points spanning the paper space's axes that affect the
+/// analyses under test: `TC`, `BC`, `UIF` and `CFLAGS`.
+pub(crate) fn arb_params() -> impl Strategy<Value = TuningParams> {
+    (0usize..4, 1u32..=8, 1u32..=5, any::<bool>()).prop_map(|(tc_i, bc_m, uif, fast)| {
+        let mut p = TuningParams::with_geometry([32u32, 128, 512, 1024][tc_i], bc_m * 24);
+        p.uif = uif;
+        p.cflags.fast_math = fast;
+        p
+    })
+}

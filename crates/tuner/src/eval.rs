@@ -232,6 +232,14 @@ pub struct EvalStats {
     pub disk_loaded: usize,
     /// Measurements this tier spilled to the store's disk tier.
     pub disk_spilled: usize,
+    /// Program indexes built (process-wide; one per front-end artifact).
+    pub index_builds: u64,
+    /// Divergence fast-path hits — index-routed analyses that skipped
+    /// the dominator/divergence machinery entirely (process-wide).
+    pub index_fast_path_hits: u64,
+    /// Divergence slow-path hits — analyses that walked precomputed
+    /// divergent regions (process-wide).
+    pub index_slow_path_hits: u64,
     /// Model-context cache counters (occupancy table, dynamic mix,
     /// `SimReport`).
     pub model: ModelStats,
@@ -381,13 +389,18 @@ impl<'a> Evaluator<'a> {
         self.front_ends.lowerings.load(Ordering::Relaxed)
     }
 
-    /// Cache telemetry: tier counters plus the model context's.
+    /// Cache telemetry: tier counters plus the model context's, plus a
+    /// snapshot of the process-wide program-index counters.
     pub fn stats(&self) -> EvalStats {
+        let idx = oriole_ir::index::telemetry();
         EvalStats {
             unique_evaluations: self.unique_evaluations(),
             front_end_lowerings: self.front_end_lowerings(),
             disk_loaded: self.cache.disk_loaded(),
             disk_spilled: self.cache.disk_spilled(),
+            index_builds: idx.index_builds,
+            index_fast_path_hits: idx.fast_path_hits,
+            index_slow_path_hits: idx.slow_path_hits,
             model: self.ctx.stats(),
         }
     }
