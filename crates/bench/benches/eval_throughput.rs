@@ -31,7 +31,7 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use oriole_arch::Gpu;
 use oriole_codegen::{compile, front_end, FrontEnd, TuningParams};
 use oriole_kernels::KernelId;
-use oriole_service::{Client, EvalScope, ServeConfig, Server};
+use oriole_service::{Client, EvalScope, RemoteEvaluator, ServeConfig, Server};
 use oriole_sim::{dynamic_mix, measure, simulate, TrialProtocol};
 use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, SearchSpace};
 use std::collections::HashMap;
@@ -358,6 +358,87 @@ fn bench_eval_throughput(c: &mut Criterion) {
             })
         })
     });
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    server_handle.join().expect("server thread");
+
+    // The client-scaling curve on a warm daemon: N concurrent clients,
+    // each sweeping the whole space, in two wire disciplines.
+    // `service/scaling_seq/cN` is the pre-reactor client pattern — one
+    // point per `evaluate` exchange, one exchange in flight per
+    // connection — so the daemon's aggregate throughput is bounded by
+    // per-client round-trip latency. `service/scaling_pipe/cN` sends
+    // the same sweep through coalescing pipelined evaluators (64-point
+    // frames, 8 in flight per connection). The PR's acceptance bar is
+    // pipe ≥ 2× seq aggregate throughput at c64; the full 1→128 curve
+    // lands in BENCH_eval.json.
+    let big = ServeConfig { workers: 512, ..ServeConfig::default() };
+    let server =
+        Server::bind_with("127.0.0.1:0", ArtifactStore::new(), big).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server_handle = std::thread::spawn(move || server.run().expect("serve"));
+    Client::connect(&addr)
+        .expect("connect")
+        .evaluate(&scope, &points)
+        .expect("warm the daemon store");
+    {
+        // Untimed bit-identity gate: the pipelined coalesced sweep and
+        // the one-point-per-exchange sweep must agree byte-for-byte
+        // before either is worth timing.
+        let single = Client::connect(&addr).expect("connect");
+        let one_at_a_time: Vec<_> = points
+            .iter()
+            .map(|&p| single.evaluate(&scope, &[p]).expect("evaluate").1.remove(0))
+            .collect();
+        let remote =
+            RemoteEvaluator::new(Client::connect(&addr).expect("connect"), scope.clone());
+        let piped = remote.evaluate_batch(&points).expect("pipelined sweep");
+        assert!(remote.take_error().is_none());
+        assert_eq!(piped, one_at_a_time, "pipelining must not change a single bit");
+    }
+    g.sample_size(3);
+    for &n in &[1usize, 4, 16, 64, 128] {
+        g.bench_function(format!("service/scaling_seq/c{n}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let client = Client::connect(&addr).expect("connect");
+                                let mut served = 0usize;
+                                for &p in &points {
+                                    served +=
+                                        client.evaluate(&scope, &[p]).expect("evaluate").1.len();
+                                }
+                                served
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("client")).sum::<usize>()
+                })
+            })
+        });
+        g.bench_function(format!("service/scaling_pipe/c{n}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let remote = RemoteEvaluator::new(
+                                    Client::connect(&addr).expect("connect"),
+                                    scope.clone(),
+                                );
+                                let got =
+                                    remote.evaluate_batch(&points).expect("pipelined sweep");
+                                assert!(remote.take_error().is_none());
+                                got.len()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("client")).sum::<usize>()
+                })
+            })
+        });
+    }
     Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
     server_handle.join().expect("server thread");
 

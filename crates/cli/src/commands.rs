@@ -9,7 +9,8 @@ use oriole_core::predict::predict_time_with;
 use oriole_core::{analyze_in, report, suggest};
 use oriole_kernels::KernelId;
 use oriole_service::{
-    Client, EvalScope, RemoteEvaluator, RetryPolicy, ServeConfig, Server, ServiceStats,
+    Client, CoalesceConfig, EvalScope, RemoteEvaluator, RetryPolicy, ServeConfig, Server,
+    ServiceStats,
 };
 use oriole_sim::{ModelId, TrialProtocol};
 use oriole_tuner::{
@@ -96,14 +97,17 @@ commands:
                                          a persistent artifact store
                                          (gc honors --dry-run: report only)
   serve     [--addr 127.0.0.1:7733] [--store-dir DIR]
-            [--workers N] [--max-inflight N]
+            [--workers N] [--max-inflight N] [--pipeline-depth N]
             [--request-timeout MS] [--idle-timeout MS]
                                          run the tuner daemon: one shared
                                          artifact store served to remote
                                          clients until `service shutdown`;
                                          saturation answers `busy` (shed,
-                                         never hung) and idle connections
-                                         are reaped
+                                         never hung), idle connections
+                                         are reaped, and each connection
+                                         may pipeline up to
+                                         --pipeline-depth requests with
+                                         out-of-order responses
   service   {ping|stats|shutdown} --remote ADDR
                                          probe / inspect / stop a daemon
 
@@ -126,6 +130,11 @@ remote flag (tune/simulate): --remote ADDR
             knobs: --rpc-timeout MS (per-exchange deadline, default
             10000) and --retries N (transparent retry of idempotent
             verbs with backoff + jitter, default 4; 0 = fail fast).
+            Pipelining knobs (tune): --batch-points N (points per
+            coalesced evaluate frame, default 64), --pipeline-depth N
+            (frames in flight per connection, default 8),
+            --flush-idle-us US (coalesce window for concurrent misses,
+            default 200; a lone sequential search never waits).
 tune flags: --budget B --sizes 32,64,... --spec FILE --seed N --csv
             --stats (print cache telemetry: active timing model, unique
             evaluations, lowerings, disk loads/spills, occupancy/mix/
@@ -342,6 +351,27 @@ fn connect(addr: &str, args: &Args) -> Result<Client, String> {
         .map_err(|e| format!("cannot reach daemon at `{addr}`: {e} (is `oriole serve` running?)"))
 }
 
+/// The client-side batching knobs for remote evaluation:
+/// `--batch-points N` caps the points per pipelined `evaluate` frame,
+/// `--pipeline-depth N` caps the frames in flight on the connection,
+/// `--flush-idle-us US` is the coalesce window a flush waits for
+/// concurrent misses (0 = send immediately; a lone sequential caller
+/// never waits regardless).
+fn coalesce_config(args: &Args) -> Result<CoalesceConfig, String> {
+    let default = CoalesceConfig::default();
+    let cfg = CoalesceConfig {
+        max_batch_points: args.num_or("batch-points", default.max_batch_points)?,
+        max_frames: args.num_or("pipeline-depth", default.max_frames)?,
+        flush_idle: std::time::Duration::from_micros(
+            args.num_or("flush-idle-us", default.flush_idle.as_micros() as u64)?,
+        ),
+    };
+    if cfg.max_batch_points == 0 || cfg.max_frames == 0 {
+        return Err("--batch-points and --pipeline-depth must be at least 1".to_string());
+    }
+    Ok(cfg)
+}
+
 fn cmd_disasm(args: &Args) -> Result<String, String> {
     let gpu = parse_gpu(args)?;
     let kernel_id = parse_kernel(args)?;
@@ -380,23 +410,32 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     // the resolved store, or a remote facade over a daemon's store —
     // same `Oracle` trait, bit-identical numbers, so the search layer
     // cannot tell them apart.
+    // One instance, alive for the whole command — variant size skew
+    // costs nothing, and boxing would only add indirection.
+    #[allow(clippy::large_enum_variant)]
     enum Backend<'a> {
         Local { evaluator: oriole_tuner::Evaluator<'a>, store: ArtifactStore, before: EvalStats },
         Remote { remote: RemoteEvaluator, addr: String },
     }
     let backend = match remote_addr(args)? {
-        Some(addr) => Backend::Remote {
-            remote: RemoteEvaluator::new(
-                connect(addr, args)?,
-                EvalScope {
-                    kernel: kernel_id.name().to_string(),
-                    gpu: gpu.spec().clone(),
-                    sizes: sizes.clone(),
-                    protocol,
-                },
-            ),
-            addr: addr.to_string(),
-        },
+        Some(addr) => {
+            // Validate the batching knobs before dialing: a bad flag is
+            // a usage error even when no daemon is up.
+            let coalesce = coalesce_config(args)?;
+            Backend::Remote {
+                remote: RemoteEvaluator::with_coalesce(
+                    connect(addr, args)?,
+                    EvalScope {
+                        kernel: kernel_id.name().to_string(),
+                        gpu: gpu.spec().clone(),
+                        sizes: sizes.clone(),
+                        protocol,
+                    },
+                    coalesce,
+                ),
+                addr: addr.to_string(),
+            }
+        }
         None => {
             let run_store = resolve_store(args)?;
             let evaluator =
@@ -561,6 +600,12 @@ fn render_remote_stats(remote: &RemoteEvaluator, addr: &str, s: &ServiceStats) -
     );
     let _ = writeln!(
         out,
+        "  coalescing: {} batched frame(s) sent, peak {} point(s)/frame",
+        remote.batches_sent(),
+        remote.peak_batch()
+    );
+    let _ = writeln!(
+        out,
         "  server: {} connection(s), {} request(s), {} point(s) served",
         s.connections, s.requests, s.points_served
     );
@@ -568,6 +613,12 @@ fn render_remote_stats(remote: &RemoteEvaluator, addr: &str, s: &ServiceStats) -
         out,
         "  pool: {}/{} worker(s) busy, {} shed busy, {} reaped idle",
         s.workers_busy, s.workers_max, s.shed_busy, s.reaped_idle
+    );
+    let _ = writeln!(
+        out,
+        "  reactor: {} connection(s) open, {} frame(s) in flight, pipelined peak {}, \
+         {} wakeup(s)",
+        s.open_connections, s.frames_inflight, s.pipelined_peak, s.reactor_wakeups
     );
     let _ = writeln!(
         out,
@@ -622,10 +673,14 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         idle_timeout: std::time::Duration::from_millis(
             args.num_or("idle-timeout", default.idle_timeout.as_millis() as u64)?,
         ),
+        pipeline_depth: args.num_or("pipeline-depth", default.pipeline_depth)?,
         ..default
     };
     if cfg.workers == 0 || cfg.max_inflight == 0 {
         return Err("--workers and --max-inflight must be at least 1".to_string());
+    }
+    if cfg.pipeline_depth == 0 {
+        return Err("--pipeline-depth must be at least 1".to_string());
     }
     let server =
         Server::bind_with(addr, store, cfg).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
@@ -639,9 +694,10 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         let _ = writeln!(
             stdout,
             "oriole serve: listening on {actual} ({store_note}; {} worker(s), {} in-flight, \
-             request timeout {}ms, idle timeout {}ms)",
+             pipeline depth {}, request timeout {}ms, idle timeout {}ms)",
             cfg.workers,
             cfg.max_inflight,
+            cfg.pipeline_depth,
             cfg.request_timeout.as_millis(),
             cfg.idle_timeout.as_millis()
         );
@@ -689,6 +745,12 @@ fn cmd_service(argv: &[String]) -> Result<String, String> {
                 out,
                 "  pool: {}/{} worker(s) busy, {} shed busy, {} reaped idle",
                 s.workers_busy, s.workers_max, s.shed_busy, s.reaped_idle
+            );
+            let _ = writeln!(
+                out,
+                "  reactor: {} connection(s) open, {} frame(s) in flight, pipelined peak {}, \
+                 {} wakeup(s)",
+                s.open_connections, s.frames_inflight, s.pipelined_peak, s.reactor_wakeups
             );
             let _ = writeln!(
                 out,
@@ -1273,10 +1335,49 @@ mod tests {
         for line in [
             "serve --addr 127.0.0.1:0 --workers 0",
             "serve --addr 127.0.0.1:0 --max-inflight 0",
+            "serve --addr 127.0.0.1:0 --pipeline-depth 0",
         ] {
             let err = call(line).unwrap_err();
             assert!(err.contains("at least 1"), "{err}");
         }
+    }
+
+    #[test]
+    fn remote_tune_rejects_zero_pipelining_knobs() {
+        for line in [
+            "tune --kernel atax --gpu k20 --strategy random --remote 127.0.0.1:1 \
+             --batch-points 0",
+            "tune --kernel atax --gpu k20 --strategy random --remote 127.0.0.1:1 \
+             --pipeline-depth 0",
+        ] {
+            let err = call(line).unwrap_err();
+            assert!(err.contains("at least 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn remote_tune_pipelining_knobs_change_batching_not_results() {
+        let (addr, handle) = spawn_daemon();
+        let flags = "tune --kernel atax --gpu k20 --strategy random --budget 8 --sizes 32";
+        let local = call(flags).unwrap();
+        let knobbed = call(&format!(
+            "{flags} --remote {addr} --batch-points 2 --pipeline-depth 4 --flush-idle-us 0"
+        ))
+        .unwrap();
+        assert_eq!(knobbed, local, "batching knobs must never change results");
+
+        // The --stats block shows the coalescing and reactor telemetry.
+        let stats = call(&format!(
+            "{flags} --remote {addr} --stats --batch-points 2 --pipeline-depth 4"
+        ))
+        .unwrap();
+        assert!(stats.contains("coalescing:"), "{stats}");
+        assert!(stats.contains("point(s)/frame"), "{stats}");
+        assert!(stats.contains("reactor:"), "{stats}");
+        assert!(stats.contains("pipelined peak"), "{stats}");
+
+        assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
+        handle.join().expect("server thread");
     }
 
     #[test]
@@ -1287,6 +1388,10 @@ mod tests {
         assert!(svc.contains("worker(s) busy"), "{svc}");
         assert!(svc.contains("shed busy"), "{svc}");
         assert!(svc.contains("reaped idle"), "{svc}");
+        assert!(svc.contains("reactor:"), "{svc}");
+        assert!(svc.contains("connection(s) open"), "{svc}");
+        assert!(svc.contains("frame(s) in flight"), "{svc}");
+        assert!(svc.contains("wakeup(s)"), "{svc}");
 
         // The remote --stats block of a tune reports the same counters.
         let stats = call(&format!(

@@ -1,15 +1,21 @@
-//! Client library: a framed-RPC [`Client`] plus the [`RemoteEvaluator`]
-//! facade that makes a remote daemon look like a local oracle.
+//! Client library: a framed-RPC [`Client`], a [`Pipeline`] that keeps
+//! many request frames in flight on one connection, and the
+//! [`RemoteEvaluator`] facade that makes a remote daemon look like a
+//! local oracle.
 //!
 //! [`RemoteEvaluator`] implements [`Oracle`], so every existing search
 //! strategy — `RandomSearch`, `AnnealingSearch`, `GeneticSearch`,
 //! `HybridSearch` with replay validation, all of them — runs unchanged
-//! against a daemon. Batched oracle queries become one `evaluate` RPC
-//! for the batch's cache misses; revisits (stochastic searchers revisit
-//! constantly) are served from a client-side memo without touching the
-//! network. Because evaluation is deterministic and the wire format is
-//! bit-exact, a remote search produces the *identical trace* a local
-//! one does.
+//! against a daemon. Batched oracle queries become pipelined `evaluate`
+//! frames for the batch's cache misses; revisits (stochastic searchers
+//! revisit constantly) are served from a client-side memo without
+//! touching the network. Concurrent searches sharing one evaluator are
+//! **coalesced**: misses arriving together ride one batched frame
+//! ([`CoalesceConfig`]), so a fleet of search threads shares one
+//! socket instead of serializing whole round-trips. Because evaluation
+//! is deterministic and the wire format is bit-exact, a remote search
+//! produces the *identical trace* a local one does — pipelined,
+//! coalesced, or one point at a time.
 //!
 //! # Fault handling
 //!
@@ -32,22 +38,25 @@
 //! `shutdown` — is **never** auto-retried.
 //!
 //! After any failed or half-completed exchange the connection is
-//! **poisoned** (dropped and re-dialed before the next use), so a
-//! response to an abandoned request can never be mislabeled as the
-//! answer to a later one — the frame layer has no request IDs, and
-//! poisoning is what makes that safe.
+//! **poisoned** (dropped and re-dialed before the next use). Frames
+//! carry correlation ids (protocol v3), and both the single-shot
+//! [`Client`] and the [`Pipeline`] verify every response's id against
+//! an outstanding request — a response that matches nothing is a loud
+//! [`ServiceError::Protocol`] failure, never a mislabeled answer.
 
 use crate::protocol::{self, EvalScope, Request, Response, ServiceStats};
 use oriole_arch::GpuSpec;
 use oriole_codegen::TuningParams;
 use oriole_sim::{ModelId, SimReport};
-use oriole_tuner::persist::{classify_frame_io, read_frame, write_frame, FrameError};
+use oriole_tuner::persist::{
+    classify_frame_io, read_frame_tagged, write_frame_tagged, FrameError,
+};
 use oriole_tuner::{Measurement, Oracle};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why an RPC failed.
@@ -196,12 +205,16 @@ impl RetryPolicy {
 /// failures per the session's [`RetryPolicy`].
 pub struct Client {
     /// `None` = poisoned (or never dialed): the next exchange
-    /// re-connects. Poisoning after any failed exchange is what keeps
-    /// request/response pairing sound without wire-level request IDs.
+    /// re-connects. Poisoning after any failed exchange keeps
+    /// request/response pairing sound even before the correlation-id
+    /// check gets a say.
     stream: Mutex<Option<TcpStream>>,
     addr: String,
     policy: RetryPolicy,
     retries: AtomicU64,
+    /// Monotonic correlation ids for this session's frames (id 0 is
+    /// reserved for connection-level server notices).
+    corr: AtomicU64,
 }
 
 impl Client {
@@ -221,6 +234,7 @@ impl Client {
             addr: addr.to_string(),
             policy,
             retries: AtomicU64::new(0),
+            corr: AtomicU64::new(0),
         })
     }
 
@@ -294,10 +308,19 @@ impl Client {
             *slot = Some(dial(&self.addr, &self.policy)?);
         }
         let stream = slot.as_mut().expect("stream just ensured");
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed) + 1;
         let result = (|| -> Result<Response, ServiceError> {
-            write_frame(stream, &protocol::emit_request(req))
+            write_frame_tagged(stream, corr, &protocol::emit_request(req))
                 .map_err(|e| classify_frame_error(classify_frame_io(e)))?;
-            let payload = read_frame(stream).map_err(classify_frame_error)?;
+            let (resp_corr, payload) = read_frame_tagged(stream).map_err(classify_frame_error)?;
+            // Id 0 is a connection-level notice (an admission shed or a
+            // framing error answered before any request was decoded);
+            // anything else must echo this request's id exactly.
+            if resp_corr != 0 && resp_corr != corr {
+                return Err(ServiceError::Protocol(format!(
+                    "response correlation id {resp_corr} does not match request {corr}"
+                )));
+            }
             protocol::parse_response(&payload).map_err(|e| ServiceError::Protocol(e.to_string()))
         })();
         match &result {
@@ -479,13 +502,372 @@ impl fmt::Debug for Client {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined connection
+// ---------------------------------------------------------------------------
+
+/// A pipeline failure, recorded once and answered to every outstanding
+/// and future caller: transient failures (transport loss, stalls,
+/// connection-level Busy) invite the caller to rebuild the pipeline
+/// and retry; deterministic ones do not.
+struct PipeFailure {
+    transient: bool,
+    message: String,
+}
+
+impl PipeFailure {
+    fn to_error(&self) -> ServiceError {
+        if self.transient {
+            ServiceError::Io(std::io::Error::other(self.message.clone()))
+        } else {
+            ServiceError::Protocol(self.message.clone())
+        }
+    }
+}
+
+struct PipeShared {
+    /// Responses matched by correlation id; a present value means the
+    /// response arrived before its waiter.
+    pending: HashMap<u64, Option<Response>>,
+    /// Requests still awaiting their response frame (pending entries
+    /// whose slot is `None`). This — not `pending.len()` — is what the
+    /// depth cap bounds: an answered-but-unclaimed ticket costs no
+    /// daemon-side work, so it must not block further sends (a caller
+    /// that sends a burst of frames before waiting any would otherwise
+    /// deadlock itself at the cap).
+    in_flight: usize,
+    failure: Option<PipeFailure>,
+    /// Last instant the reader made frame progress; waiters poison the
+    /// pipeline when it goes stale past the rpc deadline with requests
+    /// outstanding.
+    last_progress: Instant,
+}
+
+struct PipeInner {
+    writer: Mutex<TcpStream>,
+    shared: Mutex<PipeShared>,
+    changed: Condvar,
+    /// A second handle on the socket, used to shut it down on poison so
+    /// the blocked reader thread exits promptly.
+    breaker: TcpStream,
+    depth: usize,
+    rpc_timeout: Duration,
+    next_corr: AtomicU64,
+}
+
+impl PipeInner {
+    fn poison(&self, transient: bool, message: String) {
+        {
+            let mut shared = self.shared.lock().expect("pipeline lock");
+            if shared.failure.is_none() {
+                shared.failure = Some(PipeFailure { transient, message });
+            }
+        }
+        // Unblock the reader (and any peer writes); best-effort.
+        let _ = self.breaker.shutdown(std::net::Shutdown::Both);
+        self.changed.notify_all();
+    }
+}
+
+/// A handle on one in-flight pipelined request; redeem it with
+/// [`Pipeline::wait`]. Dropping a ticket without waiting leaks its
+/// depth slot for the life of the pipeline — always wait.
+#[must_use = "a ticket holds a pipeline depth slot until waited"]
+pub struct Ticket {
+    corr: u64,
+}
+
+/// One connection with up to `depth` request frames in flight,
+/// responses matched by correlation id — out-of-order arrival is
+/// expected and fine (protocol v3).
+///
+/// A `Pipeline` is **not** self-healing: any transport failure, stall
+/// past the rpc deadline, or response for an unknown id poisons the
+/// whole pipeline and fails every outstanding ticket. Callers that
+/// want retry semantics rebuild the pipeline and resend (evaluation is
+/// deterministic and the store dedups, so replays are safe) — that is
+/// exactly what [`RemoteEvaluator`] does.
+pub struct Pipeline {
+    inner: Arc<PipeInner>,
+}
+
+impl Pipeline {
+    /// Dials `addr` and starts the reader thread. `depth` bounds the
+    /// frames in flight ([`Pipeline::send`] blocks at the cap);
+    /// `policy` supplies only the rpc deadline — retries are the
+    /// caller's business.
+    pub fn connect(addr: &str, depth: usize, policy: &RetryPolicy) -> Result<Pipeline, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        // The reader blocks on the socket without its own deadline —
+        // liveness is enforced by waiters watching `last_progress`, and
+        // poison breaks the socket under the reader.
+        let writer = stream.try_clone()?;
+        let breaker = stream.try_clone()?;
+        let rpc_timeout = if policy.rpc_timeout.is_zero() {
+            Duration::from_secs(3600)
+        } else {
+            policy.rpc_timeout
+        };
+        let inner = Arc::new(PipeInner {
+            writer: Mutex::new(writer),
+            shared: Mutex::new(PipeShared {
+                pending: HashMap::new(),
+                in_flight: 0,
+                failure: None,
+                last_progress: Instant::now(),
+            }),
+            changed: Condvar::new(),
+            breaker,
+            depth: depth.max(1),
+            rpc_timeout,
+            next_corr: AtomicU64::new(0),
+        });
+        let reader_inner = Arc::clone(&inner);
+        std::thread::spawn(move || reader_loop(stream, &reader_inner));
+        Ok(Pipeline { inner })
+    }
+
+    /// Whether the pipeline has failed (every outstanding and future
+    /// call answers the recorded failure).
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.shared.lock().expect("pipeline lock").failure.is_some()
+    }
+
+    /// Sends one request frame, blocking while the pipeline is at its
+    /// depth cap. Returns the ticket to redeem for this request's
+    /// response.
+    pub fn send(&self, req: &Request) -> Result<Ticket, ServiceError> {
+        let inner = &self.inner;
+        let corr = {
+            let mut shared = inner.shared.lock().expect("pipeline lock");
+            loop {
+                if let Some(f) = &shared.failure {
+                    return Err(f.to_error());
+                }
+                if shared.in_flight < inner.depth {
+                    break;
+                }
+                let (guard, timed_out) = inner
+                    .changed
+                    .wait_timeout(shared, inner.rpc_timeout)
+                    .expect("pipeline wait");
+                shared = guard;
+                if timed_out.timed_out() && shared.in_flight >= inner.depth {
+                    drop(shared);
+                    inner.poison(
+                        true,
+                        "pipeline stalled at its depth cap past the rpc deadline".to_string(),
+                    );
+                    shared = inner.shared.lock().expect("pipeline lock");
+                }
+            }
+            let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.pending.insert(corr, None);
+            shared.in_flight += 1;
+            corr
+        };
+        let wrote = {
+            let mut writer = inner.writer.lock().expect("pipeline writer lock");
+            write_frame_tagged(&mut *writer, corr, &protocol::emit_request(req))
+        };
+        if let Err(e) = wrote {
+            {
+                let mut shared = inner.shared.lock().expect("pipeline lock");
+                if matches!(shared.pending.remove(&corr), Some(None)) {
+                    shared.in_flight -= 1;
+                }
+            }
+            inner.poison(true, format!("pipeline send failed: {e}"));
+            return Err(ServiceError::Io(e));
+        }
+        Ok(Ticket { corr })
+    }
+
+    /// Blocks until `ticket`'s response arrives (or the pipeline
+    /// fails, or frame progress stalls past the rpc deadline).
+    pub fn wait(&self, ticket: Ticket) -> Result<Response, ServiceError> {
+        let inner = &self.inner;
+        let mut shared = inner.shared.lock().expect("pipeline lock");
+        loop {
+            if matches!(shared.pending.get(&ticket.corr), Some(Some(_))) {
+                let resp = shared
+                    .pending
+                    .remove(&ticket.corr)
+                    .flatten()
+                    .expect("checked present");
+                inner.changed.notify_all();
+                return Ok(resp);
+            }
+            if let Some(f) = &shared.failure {
+                let err = f.to_error();
+                if matches!(shared.pending.remove(&ticket.corr), Some(None)) {
+                    shared.in_flight -= 1;
+                }
+                return Err(err);
+            }
+            // The deadline is measured from the reader's last frame
+            // progress, not from this wait's start: a deep pipeline
+            // making steady progress is healthy no matter how long the
+            // tail ticket waits; a silent daemon is not.
+            let stale_at = shared.last_progress + inner.rpc_timeout;
+            let now = Instant::now();
+            if now >= stale_at {
+                drop(shared);
+                inner.poison(
+                    true,
+                    format!(
+                        "no response frame for {:?} with requests in flight",
+                        inner.rpc_timeout
+                    ),
+                );
+                shared = inner.shared.lock().expect("pipeline lock");
+                continue;
+            }
+            let (guard, _) = inner
+                .changed
+                .wait_timeout(shared, stale_at - now)
+                .expect("pipeline wait");
+            shared = guard;
+        }
+    }
+
+    /// [`Pipeline::send`] + [`Pipeline::wait`] as one call — the
+    /// single-shot convenience for tests and probes.
+    pub fn call(&self, req: &Request) -> Result<Response, ServiceError> {
+        self.wait(self.send(req)?)
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        self.inner.poison(true, "pipeline dropped".to_string());
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = self.inner.shared.lock().expect("pipeline lock");
+        f.debug_struct("Pipeline")
+            .field("depth", &self.inner.depth)
+            .field("in_flight", &shared.in_flight)
+            .field("poisoned", &shared.failure.is_some())
+            .finish()
+    }
+}
+
+/// The pipeline's reader: matches every arriving frame to its
+/// outstanding request by correlation id. A response that matches no
+/// outstanding id — or one the daemon tagged with an id we never
+/// issued — poisons the pipeline as a protocol error: **no response is
+/// ever delivered to the wrong correlation id.**
+fn reader_loop(mut stream: TcpStream, inner: &PipeInner) {
+    loop {
+        let (corr, payload) = match read_frame_tagged(&mut stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Eof) => {
+                inner.poison(true, "daemon closed the pipelined connection".to_string());
+                return;
+            }
+            Err(e) => {
+                inner.poison(true, format!("pipelined read failed: {e}"));
+                return;
+            }
+        };
+        let resp = match protocol::parse_response(&payload) {
+            Ok(resp) => resp,
+            Err(e) => {
+                inner.poison(false, format!("unparseable response: {e}"));
+                return;
+            }
+        };
+        if corr == 0 {
+            // Connection-level notice, addressed to no request: an
+            // admission shed (Busy) or a pre-decode error. Either way
+            // the whole pipeline is done.
+            match resp {
+                Response::Busy { retry_after_ms } => inner.poison(
+                    true,
+                    format!("daemon shed the connection (retry in {retry_after_ms}ms)"),
+                ),
+                Response::Error { message } => inner.poison(false, message),
+                other => inner.poison(
+                    false,
+                    format!("connection-level frame carried unexpected {other:?}"),
+                ),
+            }
+            return;
+        }
+        let mut shared = inner.shared.lock().expect("pipeline lock");
+        match shared.pending.get_mut(&corr) {
+            Some(slot @ None) => {
+                *slot = Some(resp);
+                shared.in_flight -= 1;
+                shared.last_progress = Instant::now();
+                drop(shared);
+                inner.changed.notify_all();
+            }
+            _ => {
+                drop(shared);
+                inner.poison(
+                    false,
+                    format!("response for unknown correlation id {corr}"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote evaluator with batch coalescing
+// ---------------------------------------------------------------------------
+
+/// How [`RemoteEvaluator`] packs concurrent cache misses into
+/// pipelined `evaluate` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Maximum points per `evaluate` frame: a large batch is split into
+    /// chunks of this size and the chunks pipelined, so the daemon's
+    /// workers parallelize *within* one logical batch.
+    pub max_batch_points: usize,
+    /// Pipeline depth for the evaluator's connection — evaluate frames
+    /// concurrently in flight.
+    pub max_frames: usize,
+    /// How long a flush waits for more concurrent misses to coalesce
+    /// before sending. Only applied when other threads are actively
+    /// inside the evaluator — a single sequential searcher never pays
+    /// it.
+    pub flush_idle: Duration,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> CoalesceConfig {
+        CoalesceConfig {
+            max_batch_points: 64,
+            max_frames: 8,
+            flush_idle: Duration::from_micros(200),
+        }
+    }
+}
+
 /// A remote [`Oracle`]: one experiment scope evaluated through a daemon,
 /// with a client-side memo so revisits never re-cross the network.
 ///
-/// Transient RPC failures are healed by the [`Client`]'s retry policy
-/// underneath; an error surfaces here only once that policy is
-/// exhausted. The oracle contract has no error channel, so such a
-/// *final* failure is **latched**: the failing point scores
+/// Cache misses are **coalesced**: the first thread to find pending
+/// misses becomes the flusher, waits one [`CoalesceConfig::flush_idle`]
+/// beat for concurrent threads' misses to pile on (skipped when alone),
+/// then drains the pending set into chunked, pipelined `evaluate`
+/// frames over one shared [`Pipeline`]. Everyone else parks until the
+/// cache fills. Results are bit-identical to sequential one-at-a-time
+/// evaluation — the daemon's store dedups, the wire format is exact,
+/// and the memo is keyed by point, so scheduling never shows in the
+/// data.
+///
+/// Transient RPC failures are healed by retrying with a fresh pipeline
+/// under the [`Client`]'s policy; an error surfaces only once that
+/// policy is exhausted. The oracle contract has no error channel, so
+/// such a *final* failure is **latched**: the failing point scores
 /// `f64::INFINITY`, every later query short-circuits the same way, and
 /// the driver must check [`RemoteEvaluator::take_error`] after the
 /// search — a lost daemon aborts the run loudly instead of silently
@@ -493,24 +875,67 @@ impl fmt::Debug for Client {
 pub struct RemoteEvaluator {
     client: Client,
     scope: EvalScope,
-    cache: Mutex<HashMap<TuningParams, Measurement>>,
+    coalesce: CoalesceConfig,
+    state: Mutex<EvalState>,
+    changed: Condvar,
     fetched: AtomicU64,
     computed_remote: AtomicU64,
+    batches_sent: AtomicU64,
+    peak_batch: AtomicU64,
     error: Mutex<Option<String>>,
-    poisoned: std::sync::atomic::AtomicBool,
+    poisoned: AtomicBool,
+}
+
+struct EvalState {
+    cache: HashMap<TuningParams, Measurement>,
+    /// Misses queued for the next flush (insertion order — determinism
+    /// of the *data* comes from the store, not from this ordering).
+    pending: Vec<TuningParams>,
+    pending_set: HashSet<TuningParams>,
+    /// Points the current flush has in flight; threads needing one park
+    /// instead of re-queueing it.
+    inflight: HashSet<TuningParams>,
+    flushing: bool,
+    /// Threads currently inside `evaluate_batch` — the flusher skips
+    /// its coalesce beat when it is alone.
+    waiters: usize,
+    /// The healthy pipeline from the last flush, reused across flushes.
+    pipe: Option<Arc<Pipeline>>,
 }
 
 impl RemoteEvaluator {
-    /// A remote evaluator over `scope`, speaking through `client`.
+    /// A remote evaluator over `scope`, speaking through `client`, with
+    /// default coalescing.
     pub fn new(client: Client, scope: EvalScope) -> RemoteEvaluator {
+        RemoteEvaluator::with_coalesce(client, scope, CoalesceConfig::default())
+    }
+
+    /// [`RemoteEvaluator::new`] with explicit coalescing knobs.
+    pub fn with_coalesce(
+        client: Client,
+        scope: EvalScope,
+        coalesce: CoalesceConfig,
+    ) -> RemoteEvaluator {
         RemoteEvaluator {
             client,
             scope,
-            cache: Mutex::new(HashMap::new()),
+            coalesce,
+            state: Mutex::new(EvalState {
+                cache: HashMap::new(),
+                pending: Vec::new(),
+                pending_set: HashSet::new(),
+                inflight: HashSet::new(),
+                flushing: false,
+                waiters: 0,
+                pipe: None,
+            }),
+            changed: Condvar::new(),
             fetched: AtomicU64::new(0),
             computed_remote: AtomicU64::new(0),
+            batches_sent: AtomicU64::new(0),
+            peak_batch: AtomicU64::new(0),
             error: Mutex::new(None),
-            poisoned: std::sync::atomic::AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -519,10 +944,15 @@ impl RemoteEvaluator {
         &self.scope
     }
 
-    /// The underlying connection (for side-channel requests like
-    /// [`Client::stats`] on the same session).
+    /// The underlying single-shot connection (for side-channel requests
+    /// like [`Client::stats`] on the same session).
     pub fn client(&self) -> &Client {
         &self.client
+    }
+
+    /// The coalescing configuration in effect.
+    pub fn coalesce_config(&self) -> CoalesceConfig {
+        self.coalesce
     }
 
     /// Distinct points fetched over the wire so far (client-side cache
@@ -535,6 +965,18 @@ impl RemoteEvaluator {
     /// requests — 0 on a fully warm store.
     pub fn computed_remote(&self) -> u64 {
         self.computed_remote.load(Ordering::Relaxed)
+    }
+
+    /// `evaluate` frames sent over the wire (each carries one coalesced
+    /// chunk of at most [`CoalesceConfig::max_batch_points`] points).
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent.load(Ordering::Relaxed)
+    }
+
+    /// The largest point count any single frame carried — evidence of
+    /// coalescing actually happening.
+    pub fn peak_batch(&self) -> u64 {
+        self.peak_batch.load(Ordering::Relaxed)
     }
 
     /// The latched RPC failure, if any. Drivers must call this after a
@@ -560,39 +1002,242 @@ impl RemoteEvaluator {
         self.evaluate_batch(&[params]).map(|mut v| v.remove(0))
     }
 
-    /// Evaluates a batch: one RPC for the cache misses, everything else
-    /// from the memo. Results in input order, `None` on (final, policy-
-    /// exhausted) RPC failure.
+    /// Evaluates a batch: misses join the shared pending set, one
+    /// thread flushes them (plus any concurrent threads' misses) as
+    /// chunked pipelined frames, everything else is served from the
+    /// memo. Results in input order, `None` on (final,
+    /// policy-exhausted) RPC failure.
     pub fn evaluate_batch(&self, points: &[TuningParams]) -> Option<Vec<Measurement>> {
         if self.poisoned.load(Ordering::SeqCst) {
             return None;
         }
-        let mut cache = self.cache.lock().expect("remote cache lock");
-        let mut missing: Vec<TuningParams> = Vec::new();
-        let mut queued: std::collections::HashSet<TuningParams> = std::collections::HashSet::new();
+        let mut st = self.state.lock().expect("remote evaluator lock");
+        st.waiters += 1;
         for p in points {
-            if !cache.contains_key(p) && queued.insert(*p) {
-                missing.push(*p);
+            if !st.cache.contains_key(p)
+                && !st.pending_set.contains(p)
+                && !st.inflight.contains(p)
+            {
+                st.pending.push(*p);
+                st.pending_set.insert(*p);
             }
         }
-        if !missing.is_empty() {
-            match self.client.evaluate(&self.scope, &missing) {
-                Ok((computed, measurements)) => {
-                    self.fetched.fetch_add(missing.len() as u64, Ordering::Relaxed);
-                    self.computed_remote.fetch_add(computed, Ordering::Relaxed);
-                    for m in measurements {
-                        cache.insert(m.params, m);
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                st.waiters -= 1;
+                return None;
+            }
+            if points.iter().all(|p| st.cache.contains_key(p)) {
+                let out = points.iter().map(|p| st.cache[p].clone()).collect();
+                st.waiters -= 1;
+                return Some(out);
+            }
+            if !st.pending.is_empty() && !st.flushing {
+                st.flushing = true;
+                // The coalesce beat: give concurrently arriving misses
+                // a moment to pile onto this flush — but never tax a
+                // lone sequential searcher with it.
+                if st.waiters > 1 && !self.coalesce.flush_idle.is_zero() {
+                    let (guard, _) = self
+                        .changed
+                        .wait_timeout(st, self.coalesce.flush_idle)
+                        .expect("coalesce wait");
+                    st = guard;
+                }
+                let batch: Vec<TuningParams> = st.pending.drain(..).collect();
+                st.pending_set.clear();
+                for p in &batch {
+                    st.inflight.insert(*p);
+                }
+                let pipe = st.pipe.take();
+                drop(st);
+                let outcome = self.fetch(&batch, pipe);
+                st = self.state.lock().expect("remote evaluator lock");
+                for p in &batch {
+                    st.inflight.remove(p);
+                }
+                st.flushing = false;
+                match outcome {
+                    Ok((pipe, computed, measurements)) => {
+                        st.pipe = Some(pipe);
+                        self.fetched.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        self.computed_remote.fetch_add(computed, Ordering::Relaxed);
+                        for m in measurements {
+                            st.cache.insert(m.params, m);
+                        }
+                        self.changed.notify_all();
+                    }
+                    Err(e) => {
+                        st.waiters -= 1;
+                        drop(st);
+                        self.latch_error(e);
+                        self.changed.notify_all();
+                        return None;
                     }
                 }
-                Err(e) => {
-                    drop(cache);
-                    self.latch_error(e);
-                    return None;
+            } else {
+                // Parked: another thread's flush is (or will be)
+                // fetching our points. The timeout guards against a
+                // missed wakeup, nothing more.
+                let (guard, _) = self
+                    .changed
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .expect("remote evaluator wait");
+                st = guard;
+            }
+        }
+    }
+
+    /// Fetches one coalesced batch: chunked into frames, pipelined,
+    /// verified per chunk, retried per the [`Client`]'s policy with a
+    /// fresh pipeline on transient failure. Returns the (still healthy)
+    /// pipeline for reuse plus the daemon-computed count and all
+    /// measurements in batch order.
+    fn fetch(
+        &self,
+        batch: &[TuningParams],
+        mut pipe: Option<Arc<Pipeline>>,
+    ) -> Result<(Arc<Pipeline>, u64, Vec<Measurement>), ServiceError> {
+        let policy = self.client.policy();
+        let chunks: Vec<&[TuningParams]> = batch.chunks(self.coalesce.max_batch_points).collect();
+        let mut results: Vec<Option<(u64, Vec<Measurement>)>> = vec![None; chunks.len()];
+        let mut attempt: u32 = 0;
+        loop {
+            let p = match pipe.take().filter(|p| !p.is_poisoned()) {
+                Some(p) => p,
+                None => {
+                    match Pipeline::connect(self.client.addr(), self.coalesce.max_frames, policy)
+                    {
+                        Ok(p) => Arc::new(p),
+                        Err(e) => {
+                            attempt = retry_or_bail(policy, attempt, e, None)?;
+                            continue;
+                        }
+                    }
+                }
+            };
+            // Send every unresolved chunk, then collect: the pipeline
+            // keeps up to `max_frames` of them in flight at once.
+            let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+            let mut failure: Option<ServiceError> = None;
+            for (i, chunk) in chunks.iter().enumerate() {
+                if results[i].is_some() {
+                    continue;
+                }
+                let req = Request::Evaluate {
+                    scope: self.scope.clone(),
+                    points: chunk.to_vec(),
+                    deadline_ms: policy.deadline_ms(),
+                };
+                match p.send(&req) {
+                    Ok(t) => tickets.push((i, t)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            let mut busy_hint: Option<u64> = None;
+            for (i, ticket) in tickets {
+                match p.wait(ticket) {
+                    Ok(Response::Evaluate { computed, measurements }) => {
+                        verify_measurements(chunks[i], &measurements)?;
+                        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+                        self.peak_batch.fetch_max(chunks[i].len() as u64, Ordering::Relaxed);
+                        results[i] = Some((computed, measurements));
+                    }
+                    Ok(Response::Busy { retry_after_ms }) => {
+                        busy_hint = Some(retry_after_ms);
+                        if failure.is_none() {
+                            failure = Some(ServiceError::Busy(retry_after_ms));
+                        }
+                    }
+                    Ok(Response::Error { message }) => {
+                        return Err(ServiceError::Remote(message));
+                    }
+                    Ok(other) => {
+                        return Err(ServiceError::Protocol(format!(
+                            "expected measurements, got {other:?}"
+                        )));
+                    }
+                    Err(e) => {
+                        if failure.is_none() {
+                            failure = Some(e);
+                        }
+                    }
+                }
+            }
+            match failure {
+                None => {
+                    let mut computed = 0u64;
+                    let mut measurements = Vec::with_capacity(batch.len());
+                    for r in results {
+                        let (c, ms) = r.expect("no failure means every chunk resolved");
+                        computed += c;
+                        measurements.extend(ms);
+                    }
+                    return Ok((p, computed, measurements));
+                }
+                Some(e) => {
+                    attempt = retry_or_bail(policy, attempt, e, busy_hint)?;
+                    // Busy leaves the pipeline healthy; transport
+                    // failures poisoned it and the filter above drops
+                    // it.
+                    pipe = Some(p);
                 }
             }
         }
-        Some(points.iter().map(|p| cache[p].clone()).collect())
     }
+}
+
+/// One retry-policy step: transient failures sleep the backoff (honoring
+/// the daemon's Busy hint when longer) and return the bumped attempt
+/// count; deterministic failures — or an exhausted policy — bail with
+/// the error.
+fn retry_or_bail(
+    policy: &RetryPolicy,
+    attempt: u32,
+    e: ServiceError,
+    busy_hint: Option<u64>,
+) -> Result<u32, ServiceError> {
+    if !e.is_transient() || attempt >= policy.max_retries {
+        return Err(e);
+    }
+    let attempt = attempt + 1;
+    let mut nap = policy.backoff(attempt);
+    if let Some(hint_ms) = busy_hint {
+        // Honor the daemon's own hint when it is the longer wait — it
+        // knows its queue better.
+        nap = nap.max(Duration::from_millis(hint_ms));
+    }
+    std::thread::sleep(nap);
+    Ok(attempt)
+}
+
+/// The positional response contract, verified rather than trusted: one
+/// measurement per requested point, in request order, so a confused
+/// daemon surfaces as a protocol error instead of mislabeled
+/// measurements.
+fn verify_measurements(
+    points: &[TuningParams],
+    measurements: &[Measurement],
+) -> Result<(), ServiceError> {
+    if measurements.len() != points.len() {
+        return Err(ServiceError::Protocol(format!(
+            "evaluate returned {} measurements for {} points",
+            measurements.len(),
+            points.len()
+        )));
+    }
+    for (p, m) in points.iter().zip(measurements) {
+        if m.params != *p {
+            return Err(ServiceError::Protocol(format!(
+                "evaluate returned measurement for {} where {} was requested",
+                m.params, p
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl Oracle for RemoteEvaluator {
@@ -614,6 +1259,7 @@ impl fmt::Debug for RemoteEvaluator {
             .field("addr", &self.client.addr)
             .field("kernel", &self.scope.kernel)
             .field("fetched", &self.fetched())
+            .field("batches_sent", &self.batches_sent())
             .finish()
     }
 }

@@ -16,36 +16,50 @@
 //!   [`SimReport`](oriole_sim::SimReport) records in
 //!   `oriole_tuner::persist`'s canonical serialization — floats as raw
 //!   IEEE-754 bits, so remote results are **bit-identical** to local
-//!   evaluation. Payloads travel in length-framed, checksummed frames
-//!   ([`oriole_tuner::persist::write_frame`]).
-//! * [`server`] — the daemon: a polled accept loop handing each
-//!   connection to a **bounded** worker pool; connections past the
-//!   bound — and requests that cannot get an in-flight slot within
-//!   their deadline — are shed with an explicit
-//!   [`Response::Busy`](protocol::Response::Busy) instead of a hung
-//!   socket, idle connections are reaped by per-connection read/write
-//!   deadlines, and per-connection quotas keep any one client from
-//!   monopolizing the pool ([`ServeConfig`]). All workers evaluate
+//!   evaluation. Payloads travel in length-framed, checksummed,
+//!   correlation-tagged frames
+//!   ([`oriole_tuner::persist::write_frame_tagged`]): the id lets one
+//!   connection pipeline many requests and receive responses out of
+//!   order (protocol v3).
+//! * [`server`] — the daemon: one **reactor** thread owns every socket
+//!   (nonblocking, readiness-driven — see the private `reactor`
+//!   module's `poll(2)` wrapper) and runs each connection as a small
+//!   state machine: read-accumulate → decode → dispatch → write-drain.
+//!   Evaluation executes on a **bounded worker pool** behind the same
+//!   admission gate as before: requests that cannot start within their
+//!   deadline — and connections past the bound — are shed with an
+//!   explicit [`Response::Busy`](protocol::Response::Busy) instead of
+//!   a hung socket, idle connections are reaped, writes that stop
+//!   making progress drop the connection, and per-connection quotas
+//!   keep any one client from monopolizing the daemon
+//!   ([`ServeConfig`], including the per-connection
+//!   [`pipeline_depth`](ServeConfig::pipeline_depth) cap, enforced by
+//!   simply not reading a maxed-out socket). All workers evaluate
 //!   through the one shared store, whose sharded
 //!   in-flight-deduplicating tiers make "single writer per scope"
 //!   automatic inside the process: two clients racing on one point
 //!   compute it once. Malformed frames and version skew are rejected
 //!   without poisoning the store; a client disconnecting mid-request
-//!   costs only its own response. Shutdown (by RPC) drains in-flight
-//!   evaluations on a condvar with a hard deadline before the listener
-//!   exits, so a daemon with a `--store-dir` never tears its own spill
-//!   lines.
+//!   costs only its own response. Shutdown (by RPC) drains queued
+//!   work, busy workers and unwritten responses under a hard deadline
+//!   before the reactor exits, so a daemon with a `--store-dir` never
+//!   tears its own spill lines.
 //! * [`client`] — the client library: a [`Client`] speaking the
 //!   protocol under a [`RetryPolicy`] — a deadline on every exchange,
 //!   automatic reconnect and retry with exponential backoff + jitter
 //!   for the idempotent verbs (evaluation is deterministic and the
-//!   store dedups, so replaying is always bit-identically safe) — and
-//!   a [`RemoteEvaluator`] facade implementing
+//!   store dedups, so replaying is always bit-identically safe) — a
+//!   [`Pipeline`] holding up to N request frames in flight on one
+//!   connection with responses matched by correlation id, and a
+//!   [`RemoteEvaluator`] facade implementing
 //!   [`oriole_tuner::Oracle`], so every existing search strategy runs
 //!   unchanged against a daemon — `RandomSearch`, `GeneticSearch`,
-//!   hybrid search with replay validation, all of them. A *final*
-//!   (policy-exhausted) failure latches: the run aborts loudly, never
-//!   silently returns garbage winners.
+//!   hybrid search with replay validation, all of them. The evaluator
+//!   **coalesces** concurrent misses from parallel searches into
+//!   batched pipelined `evaluate` frames ([`CoalesceConfig`]), so a
+//!   fleet of search threads shares one socket instead of serializing
+//!   exchanges. A *final* (policy-exhausted) failure latches: the run
+//!   aborts loudly, never silently returns garbage winners.
 //! * [`chaos`] — fault injection: a [`ChaosProxy`] that delays,
 //!   corrupts, truncates and drops proxied frames on a configurable
 //!   [`ChaosPlan`], backing the acceptance suite that proves every
@@ -62,9 +76,12 @@
 pub mod chaos;
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
 pub use chaos::{ChaosPlan, ChaosProxy, FaultSpec};
-pub use client::{Client, RemoteEvaluator, RetryPolicy, ServiceError};
+pub use client::{
+    Client, CoalesceConfig, Pipeline, RemoteEvaluator, RetryPolicy, ServiceError,
+};
 pub use protocol::{EvalScope, Request, Response, ServiceStats, RPC_VERSION};
 pub use server::{ServeConfig, ServeSummary, Server};

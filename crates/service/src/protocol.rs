@@ -2,9 +2,11 @@
 //! [`oriole_tuner::persist`]'s canonical, checksummed wire format.
 //!
 //! Every payload is text, versioned by its first line
-//! (`oriole-rpc v1 <verb>`), and travels inside one length-framed,
-//! FNV-checksummed frame ([`persist::write_frame`] /
-//! [`persist::read_frame`]). The records inside — [`GpuSpec`],
+//! (`oriole-rpc vN <verb>`), and travels inside one length-framed,
+//! FNV-checksummed, correlation-tagged frame
+//! ([`persist::write_frame_tagged`] / [`persist::read_frame_tagged`]) —
+//! the id lets a connection pipeline requests and match out-of-order
+//! responses. The records inside — [`GpuSpec`],
 //! [`EvalProtocol`], [`TuningParams`], [`Measurement`], [`SimReport`] —
 //! reuse the persist codecs verbatim: the same serialization the disk
 //! tier trusts, floats as raw IEEE-754 bits, so a measurement that
@@ -23,11 +25,14 @@ use oriole_tuner::persist::{self, WireError};
 use oriole_tuner::{EvalProtocol, Measurement};
 
 /// The protocol version this build speaks; the first token pair of
-/// every payload. v2 added request deadlines on `evaluate`, the `busy`
-/// backpressure response and the pool/quota counters in `stats` —
-/// mixed-version peers are rejected by the existing skew machinery
-/// (the error names both versions).
-pub const RPC_VERSION: &str = "oriole-rpc v2";
+/// every payload. v3 moves the transport to correlation-tagged frames
+/// ([`persist::write_frame_tagged`]) so one connection can pipeline
+/// many requests and receive responses out of order, and adds the
+/// reactor/pipelining counters to `stats`. (v2 added request deadlines
+/// on `evaluate`, the `busy` backpressure response and the pool/quota
+/// counters.) Mixed-version peers are rejected by the existing skew
+/// machinery — the error names both versions.
+pub const RPC_VERSION: &str = "oriole-rpc v3";
 
 /// The experiment scope of an `evaluate` batch: exactly the
 /// measurement-tier key of the daemon's store, so two clients that
@@ -125,6 +130,17 @@ pub struct ServiceStats {
     /// Connections reaped because they sat idle (or trickled a frame)
     /// past the daemon's read deadline.
     pub reaped_idle: u64,
+    /// Connections currently open on the reactor.
+    pub open_connections: u64,
+    /// Requests currently in flight across all connections (decoded but
+    /// not yet fully written back — queued, executing, or draining).
+    pub frames_inflight: u64,
+    /// High-water mark of requests in flight on any single connection —
+    /// evidence of pipelining depth actually reached.
+    pub pipelined_peak: u64,
+    /// Times the reactor's readiness wait returned since the daemon
+    /// started (socket readiness, worker completions, or timer ticks).
+    pub reactor_wakeups: u64,
     /// Disk-tier counters; `None` when the daemon's store is
     /// memory-only.
     pub disk: Option<persist::DiskStats>,
@@ -334,7 +350,8 @@ pub fn emit_response(resp: &Response) -> String {
             let mut out = format!(
                 "{RPC_VERSION} ok stats\nconnections={}\nrequests={}\npoints={}\nkernels={}\n\
                  fe_tiers={}\nlowerings={}\nmeas_tiers={}\nunique={}\ncontexts={}\nbusy={}\n\
-                 wmax={}\nshed={}\nreaped={}",
+                 wmax={}\nshed={}\nreaped={}\nconns_open={}\ninflight={}\npipe_peak={}\n\
+                 wakeups={}",
                 s.connections,
                 s.requests,
                 s.points_served,
@@ -348,6 +365,10 @@ pub fn emit_response(resp: &Response) -> String {
                 s.workers_max,
                 s.shed_busy,
                 s.reaped_idle,
+                s.open_connections,
+                s.frames_inflight,
+                s.pipelined_peak,
+                s.reactor_wakeups,
             );
             if let Some(d) = &s.disk {
                 out.push_str("\ndisk=");
@@ -408,6 +429,10 @@ pub fn parse_response(payload: &str) -> Result<Response, WireError> {
                         workers_max: num("wmax")?,
                         shed_busy: num("shed")?,
                         reaped_idle: num("reaped")?,
+                        open_connections: num("conns_open")?,
+                        frames_inflight: num("inflight")?,
+                        pipelined_peak: num("pipe_peak")?,
+                        reactor_wakeups: num("wakeups")?,
                         disk: match body_field(&body, "disk") {
                             Ok(d) => Some(parse_disk(d)?),
                             Err(_) => None,
@@ -526,6 +551,10 @@ mod tests {
             workers_max: 16,
             shed_busy: 5,
             reaped_idle: 2,
+            open_connections: 4,
+            frames_inflight: 7,
+            pipelined_peak: 12,
+            reactor_wakeups: 901,
             disk: Some(persist::DiskStats {
                 tier_hits: 1,
                 tier_misses: 0,
@@ -571,6 +600,11 @@ mod tests {
         // The deadline field is new in v2: a v1 peer is skew, named as
         // such, not silently tolerated.
         let err = parse_request("oriole-rpc v1 ping").unwrap_err();
+        assert!(err.to_string().contains("version skew"), "{err}");
+        // Correlation-tagged pipelining is new in v3: a v2 peer is skew
+        // too — its untagged frames would not even decode, and a loud
+        // version error beats silent misdelivery.
+        let err = parse_request("oriole-rpc v2 ping").unwrap_err();
         assert!(err.to_string().contains("version skew"), "{err}");
         assert!(parse_request("GET / HTTP/1.1").is_err());
         assert!(parse_request(&format!("{RPC_VERSION} frobnicate")).is_err());

@@ -1,0 +1,287 @@
+//! Readiness primitives for the event-driven server core: a thin,
+//! dependency-free wrapper over `poll(2)` plus a self-wake pipe.
+//!
+//! The daemon's reactor ([`crate::server`]) owns every socket
+//! (listener, connections, wake pipe) in one thread and needs exactly
+//! one OS facility: "block until any of these descriptors is ready, or
+//! a timeout passes". On Unix that is `poll(2)`, declared here directly
+//! against libc (the crate policy is no external dependencies). On
+//! other platforms a degenerate fallback reports everything ready after
+//! a short sleep — correct (all I/O is nonblocking and tolerates
+//! spurious readiness) just not efficient.
+//!
+//! The wake pipe lets worker threads interrupt the reactor's wait when
+//! a completion is queued: a byte written to one end of a socketpair
+//! makes the other end readable. Waking is best-effort by design — the
+//! reactor's wait is always bounded by a short timeout, so a lost (or
+//! deliberately sabotaged) wake costs one tick of latency, never a
+//! hang.
+
+use std::time::Duration;
+
+/// What a registered descriptor wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Interest {
+    /// Readable only.
+    Read,
+    /// Writable only.
+    Write,
+    /// Readable or writable.
+    Both,
+}
+
+/// One ready descriptor out of a [`wait`] call, named by the caller's
+/// token. Error/hangup conditions are folded into both flags: the
+/// owner performs its read or write and observes the failure there,
+/// keeping exactly one error path per socket.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Readiness {
+    /// The token the caller registered the descriptor under.
+    pub token: usize,
+    /// Ready to read (or in an error/hangup state).
+    pub readable: bool,
+    /// Ready to write (or in an error/hangup state).
+    pub writable: bool,
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{Interest, Readiness};
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    // POLLERR | POLLHUP | POLLNVAL: always reported by the kernel
+    // regardless of the requested events.
+    const POLLBAD: i16 = 0x008 | 0x010 | 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: std::os::raw::c_int)
+            -> std::os::raw::c_int;
+    }
+
+    pub(crate) fn wait(entries: &[(usize, i32, Interest)], timeout: Duration) -> Vec<Readiness> {
+        let mut fds: Vec<PollFd> = entries
+            .iter()
+            .map(|&(_, fd, interest)| PollFd {
+                fd,
+                events: match interest {
+                    Interest::Read => POLLIN,
+                    Interest::Write => POLLOUT,
+                    Interest::Both => POLLIN | POLLOUT,
+                },
+                revents: 0,
+            })
+            .collect();
+        // Round up so a sub-millisecond timeout still sleeps instead of
+        // spinning; the reactor's tick cap keeps this small anyway.
+        let ms = timeout.as_millis().clamp(1, i32::MAX as u128) as std::os::raw::c_int;
+        let rc =
+            unsafe { poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, ms) };
+        if rc <= 0 {
+            // Timeout, EINTR, or a transient poll failure: report
+            // nothing ready; the caller's own timers carry on.
+            return Vec::new();
+        }
+        entries
+            .iter()
+            .zip(&fds)
+            .filter(|(_, pfd)| pfd.revents != 0)
+            .map(|(&(token, _, _), pfd)| Readiness {
+                token,
+                readable: pfd.revents & (POLLIN | POLLBAD) != 0,
+                writable: pfd.revents & (POLLOUT | POLLBAD) != 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Interest, Readiness};
+    use std::time::Duration;
+
+    /// Degenerate fallback: sleep briefly and report every descriptor
+    /// ready in both directions. All reactor I/O is nonblocking, so
+    /// spurious readiness costs a `WouldBlock` per socket per tick —
+    /// busy-ish, but correct.
+    pub(crate) fn wait(entries: &[(usize, i32, Interest)], timeout: Duration) -> Vec<Readiness> {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+        entries
+            .iter()
+            .map(|&(token, _, _)| Readiness { token, readable: true, writable: true })
+            .collect()
+    }
+}
+
+/// Blocks until any registered descriptor is ready or `timeout`
+/// passes; returns the ready subset (possibly empty). Entries are
+/// `(token, raw fd, interest)` — tokens come back in the result so the
+/// caller needs no fd-to-owner map.
+pub(crate) fn wait(entries: &[(usize, i32, Interest)], timeout: Duration) -> Vec<Readiness> {
+    sys::wait(entries, timeout)
+}
+
+/// The raw descriptor the poller registers for a socket.
+#[cfg(unix)]
+pub(crate) fn raw_fd<T: std::os::unix::io::AsRawFd>(sock: &T) -> i32 {
+    sock.as_raw_fd()
+}
+
+/// Non-Unix: descriptors are never inspected (the fallback poller
+/// reports everything ready), so any value serves.
+#[cfg(not(unix))]
+pub(crate) fn raw_fd<T>(_sock: &T) -> i32 {
+    0
+}
+
+/// The reactor-side read end of the self-wake channel.
+pub(crate) struct WakePipe {
+    #[cfg(unix)]
+    reader: std::os::unix::net::UnixStream,
+}
+
+/// The worker-side write end: cloneable, one byte per wake, always
+/// best-effort (a full pipe or closed peer is silently ignored — the
+/// reactor's bounded tick is the correctness backstop).
+#[derive(Clone)]
+pub(crate) struct WakeHandle {
+    #[cfg(unix)]
+    writer: std::sync::Arc<std::os::unix::net::UnixStream>,
+}
+
+impl WakePipe {
+    /// Builds the wake channel; on non-Unix platforms it is inert and
+    /// the reactor relies on its tick timeout alone.
+    pub(crate) fn new() -> std::io::Result<(WakePipe, WakeHandle)> {
+        #[cfg(unix)]
+        {
+            let (reader, writer) = std::os::unix::net::UnixStream::pair()?;
+            reader.set_nonblocking(true)?;
+            writer.set_nonblocking(true)?;
+            Ok((
+                WakePipe { reader },
+                WakeHandle { writer: std::sync::Arc::new(writer) },
+            ))
+        }
+        #[cfg(not(unix))]
+        {
+            Ok((WakePipe {}, WakeHandle {}))
+        }
+    }
+
+    /// The descriptor to register with [`wait`] for read interest.
+    pub(crate) fn fd(&self) -> i32 {
+        #[cfg(unix)]
+        {
+            raw_fd(&self.reader)
+        }
+        #[cfg(not(unix))]
+        {
+            0
+        }
+    }
+
+    /// Discards every pending wake byte (level-triggered poll would
+    /// otherwise report the pipe ready forever).
+    pub(crate) fn drain(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Read;
+            let mut sink = [0u8; 64];
+            while matches!((&self.reader).read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+impl WakeHandle {
+    /// Nudges the reactor out of its wait. Failure is ignored: the
+    /// reactor's tick bound makes waking a latency optimization, not a
+    /// correctness requirement.
+    pub(crate) fn wake(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Write;
+            let _ = (&*self.writer).write(&[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wait_times_out_when_nothing_is_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let start = Instant::now();
+        let ready = wait(
+            &[(7, raw_fd(&listener), Interest::Read)],
+            Duration::from_millis(20),
+        );
+        // Unix: a silent listener reports nothing. The fallback poller
+        // reports spuriously, which callers must tolerate anyway.
+        if cfg!(unix) {
+            assert!(ready.is_empty(), "{ready:?}");
+            assert!(start.elapsed() >= Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn wait_reports_an_accept_ready_listener_and_readable_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Wait until the pending connection is visible.
+        let ready = wait(
+            &[(1, raw_fd(&listener), Interest::Read)],
+            Duration::from_millis(2_000),
+        );
+        assert!(ready.iter().any(|r| r.token == 1 && r.readable), "{ready:?}");
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        client.write_all(b"hello").unwrap();
+        let ready = wait(
+            &[(2, raw_fd(&server_side), Interest::Both)],
+            Duration::from_millis(2_000),
+        );
+        let hit = ready.iter().find(|r| r.token == 2).expect("stream readiness");
+        assert!(hit.readable && hit.writable, "{hit:?}");
+        let mut buf = [0u8; 8];
+        let n = (&server_side).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+    }
+
+    #[test]
+    fn wake_pipe_interrupts_a_wait_and_drains_clean() {
+        let (pipe, handle) = WakePipe::new().unwrap();
+        let waker = handle.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let start = Instant::now();
+        let ready = wait(&[(0, pipe.fd(), Interest::Read)], Duration::from_secs(5));
+        t.join().unwrap();
+        if cfg!(unix) {
+            assert!(ready.iter().any(|r| r.token == 0 && r.readable), "{ready:?}");
+            assert!(start.elapsed() < Duration::from_secs(4), "wake did not interrupt");
+            pipe.drain();
+            // Drained: an immediate re-wait times out again.
+            let ready = wait(&[(0, pipe.fd(), Interest::Read)], Duration::from_millis(20));
+            assert!(ready.is_empty(), "{ready:?}");
+        }
+    }
+}

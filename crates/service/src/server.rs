@@ -1,50 +1,61 @@
-//! The tuner daemon: a TCP accept loop serving the RPC protocol over
-//! one shared [`ArtifactStore`].
+//! The tuner daemon: an event-driven reactor serving the RPC protocol
+//! over one shared [`ArtifactStore`].
 //!
 //! # Concurrency model
 //!
-//! A **bounded** worker pool: each accepted connection gets a worker
-//! thread, but only up to [`ServeConfig::workers`] of them — a
-//! connection past the bound is answered with [`Response::Busy`] and
-//! closed instead of parking in an unbounded thread herd. Inside the
-//! pool a second gate bounds the requests concurrently inside an
-//! `evaluate`/`simulate` body ([`ServeConfig::max_inflight`]): a
-//! request that cannot get a slot within its declared deadline (or the
-//! server's own [`ServeConfig::request_timeout`]) is shed with `Busy`,
-//! never queued invisibly on a hung socket.
+//! One **reactor** thread owns every socket: a nonblocking listener and
+//! all accepted connections, driven by a readiness loop
+//! ([`crate::reactor`]). Each connection is a small state machine —
+//! read-accumulate → decode ([`decode_frame`]) → dispatch →
+//! write-drain — so the daemon's thread count is bounded by work, not
+//! by clients: thousands of idle connections cost one `poll(2)` entry
+//! each, not a parked thread each.
 //!
-//! All admitted workers evaluate through the same process-level store,
-//! so the sharing rules are exactly the in-process ones (PR 2–4):
-//! concurrent clients sweeping overlapping spaces share ASTs,
-//! front-ends, model contexts and measurement tiers, and the sharded
+//! Frames carry a **correlation id** (protocol v3): a connection may
+//! pipeline up to [`ServeConfig::pipeline_depth`] requests and receives
+//! each response tagged with its request's id, in completion order —
+//! out-of-order by design. At the cap the reactor simply stops reading
+//! that socket (backpressure by TCP), never buffers unboundedly.
+//!
+//! Evaluation work still runs on a **bounded worker pool** of exactly
+//! [`ServeConfig::max_inflight`] threads behind the same
+//! [`InflightGate`] as before, so PR 6's admission semantics are
+//! preserved verbatim: a request that cannot start within its declared
+//! deadline (or the server's own [`ServeConfig::request_timeout`]) is
+//! shed with [`Response::Busy`], never queued invisibly. `ping`,
+//! `stats` and `shutdown` are answered inline on the reactor — an
+//! operator can always probe or stop a saturated daemon.
+//!
+//! All workers evaluate through the same process-level store, so the
+//! sharing rules are exactly the in-process ones (PR 2–4): concurrent
+//! clients sweeping overlapping spaces share ASTs, front-ends, model
+//! contexts and measurement tiers, and the sharded
 //! in-flight-deduplicating memo guarantees each point is computed
-//! **once** no matter how many connections race on it — "single writer
-//! per scope" is structural, not a lock the clients must take. With a
+//! **once** no matter how many connections race on it. With a
 //! disk-backed store the daemon is the directory's one writing process,
 //! so the append-only spill discipline of [`oriole_tuner::persist`]
 //! holds fleet-wide.
 //!
 //! # Deadlines everywhere
 //!
-//! Every blocking socket operation carries a deadline:
+//! The reactor's readiness wait is bounded by a short tick, so every
+//! time-based rule is enforced within a tick even if no socket ever
+//! becomes ready and every wake-up is lost:
 //!
-//! * reads run under [`ServeConfig::idle_timeout`] — an idle client (or
-//!   one trickling a frame byte-at-a-time) is **reaped**, its worker
-//!   slot reclaimed, instead of leaking a parked thread;
-//! * writes run under [`ServeConfig::write_timeout`] — a client that
-//!   stops reading its own responses loses the connection, not a
-//!   daemon thread;
-//! * the accept loop never blocks indefinitely: it polls a
-//!   non-blocking listener, so shutdown is observed within the poll
-//!   interval even if the shutdown wake-up dial fails;
-//! * shutdown drains in-flight work on a condvar with a hard deadline
-//!   ([`ServeConfig::drain_timeout`]) — a wedged evaluation cannot keep
-//!   the daemon alive forever.
+//! * a connection idle past [`ServeConfig::idle_timeout`] with nothing
+//!   in flight is **reaped**;
+//! * a connection whose peer stops reading its responses is dropped
+//!   after [`ServeConfig::write_timeout`] without write progress;
+//! * a queued request that cannot reach a worker before its admission
+//!   deadline is shed with `Busy` — by the worker if it pops it late,
+//!   by the reactor's tick scan if no worker ever frees up;
+//! * shutdown drains queued and in-flight work plus unwritten
+//!   responses under the hard [`ServeConfig::drain_timeout`].
 //!
 //! # Failure containment
 //!
 //! * A **malformed frame** (bad magic/length/checksum) poisons only its
-//!   connection: the worker answers with an error frame (best-effort)
+//!   connection: the reactor answers with an error frame (best-effort)
 //!   and hangs up. The store is never touched with unvalidated input.
 //! * **Version skew** is answered with an error naming both versions,
 //!   then the connection closes.
@@ -57,45 +68,52 @@
 //! * **Saturation** is an explicit [`Response::Busy`] with a retry
 //!   hint — evaluation is deterministic and the store dedups, so a
 //!   shed client retries for free.
-//! * **Shutdown** (by RPC) stops accepting, then drains in-flight
-//!   evaluations before [`Server::run`] returns, so a daemon is never
-//!   killed out from under its own spill writes.
+//! * **Shutdown** (by RPC) acks the requester, stops accepting, then
+//!   drains queued work, busy workers and pending writes before
+//!   [`Server::run`] returns, so a daemon is never killed out from
+//!   under its own spill writes.
 
 use crate::protocol::{self, EvalScope, Request, Response, ServiceStats};
+use crate::reactor::{self, raw_fd, Interest, WakeHandle, WakePipe};
 use oriole_codegen::{compile, TuningParams};
 use oriole_kernels::KernelId;
 use oriole_sim::TrialProtocol;
-use oriole_tuner::persist::{read_frame, write_frame, FrameError};
+use oriole_tuner::persist::{decode_frame, write_frame, write_frame_tagged};
 use oriole_tuner::ArtifactStore;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of one daemon run. [`ServeConfig::default`] is sized
 /// for a localhost fleet of tuner clients; every bound exists so that
 /// no failure mode — slow client, silent client, flood of clients —
-/// can park a daemon thread forever.
+/// can park the daemon forever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Maximum concurrent connections (worker threads). A connection
-    /// past the bound is answered [`Response::Busy`] and closed.
+    /// Maximum concurrent connections. A connection past the bound is
+    /// answered [`Response::Busy`] and closed.
     pub workers: usize,
-    /// Maximum requests concurrently inside an `evaluate`/`simulate`
-    /// body. Excess requests wait for a slot up to their deadline,
-    /// then are shed with [`Response::Busy`].
+    /// Worker threads executing `evaluate`/`simulate` bodies — the
+    /// bound on requests concurrently inside evaluation. Excess
+    /// requests wait in the queue up to their deadline, then are shed
+    /// with [`Response::Busy`].
     pub max_inflight: usize,
-    /// The server-side cap on how long a request may wait for an
-    /// inflight slot (a client's `deadline_ms` can only shorten it).
+    /// The server-side cap on how long a request may wait for a worker
+    /// (a client's `deadline_ms` can only shorten it).
     pub request_timeout: Duration,
-    /// Per-connection read deadline: a connection idle (or trickling a
-    /// frame) past this is reaped and its worker slot reclaimed.
+    /// Per-connection read deadline: a connection idle past this with
+    /// nothing in flight is reaped.
     pub idle_timeout: Duration,
     /// Per-connection write deadline: a client that stops reading its
-    /// responses loses the connection after this long.
+    /// responses loses the connection after this long without write
+    /// progress.
     pub write_timeout: Duration,
-    /// Hard deadline on the shutdown drain: busy workers get this long
-    /// to finish (and spill) before [`Server::run`] returns anyway.
+    /// Hard deadline on the shutdown drain: queued work, busy workers
+    /// and unwritten responses get this long before [`Server::run`]
+    /// returns anyway.
     pub drain_timeout: Duration,
     /// The `retry_after_ms` hint carried in [`Response::Busy`].
     pub busy_retry_ms: u64,
@@ -103,10 +121,15 @@ pub struct ServeConfig {
     /// a per-request error (retrying cannot help, so it is not `Busy`).
     pub max_points_per_request: usize,
     /// Per-connection request quota (0 = unlimited): a connection that
-    /// exhausts it is answered `Busy` and recycled, so one client
-    /// cannot hold a worker slot forever — reconnecting re-enters the
-    /// admission gate.
+    /// exhausts it is answered `Busy` and recycled — reconnecting
+    /// re-enters the admission gate, so one client cannot hold a
+    /// connection slot forever.
     pub max_requests_per_conn: u64,
+    /// Maximum requests one connection may have in flight (decoded but
+    /// not yet answered). At the cap the reactor stops reading that
+    /// socket until responses drain — pipelining backpressure lands on
+    /// the sender's TCP window, not on daemon memory.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +144,7 @@ impl Default for ServeConfig {
             busy_retry_ms: 25,
             max_points_per_request: 100_000,
             max_requests_per_conn: 0,
+            pipeline_depth: 32,
         }
     }
 }
@@ -139,15 +163,16 @@ pub struct ServeSummary {
     /// Connections reaped for idling past the read deadline.
     pub reaped_idle: u64,
     /// Whether the shutdown drain completed before its hard deadline
-    /// (`false` means a worker was still evaluating when the deadline
-    /// forced the exit).
+    /// (`false` means a worker was still evaluating — or a response
+    /// still unwritten — when the deadline forced the exit).
     pub drained: bool,
 }
 
 /// The admission gate on concurrent `evaluate`/`simulate` bodies: a
-/// condvar-guarded slot counter. Acquisition waits — bounded by the
-/// caller's deadline — for a slot; the same condvar serves the
-/// shutdown drain (wait for zero) with its own hard deadline.
+/// condvar-guarded slot counter. The worker pool is sized to the cap so
+/// acquisition never waits in practice, but the gate remains the one
+/// source of truth for the `workers_busy` stat and the shutdown drain
+/// (wait for zero) with its own hard deadline.
 struct InflightGate {
     slots: Mutex<usize>,
     changed: Condvar,
@@ -189,57 +214,75 @@ impl InflightGate {
     fn busy(&self) -> usize {
         *self.slots.lock().expect("inflight gate lock")
     }
+}
 
-    /// The shutdown drain: waits until no request is inside an
-    /// `evaluate`/`simulate` body, or the hard deadline passes.
-    /// Returns whether the drain completed clean.
-    fn drain(&self, hard_deadline: Duration) -> bool {
-        let mut used = self.slots.lock().expect("inflight gate lock");
-        let end = Instant::now() + hard_deadline;
-        while *used > 0 {
-            let now = Instant::now();
-            if now >= end {
-                return false;
-            }
-            let (guard, _) = self
-                .changed
-                .wait_timeout(used, end - now)
-                .expect("inflight gate wait");
-            used = guard;
-        }
-        true
-    }
+/// One decoded request handed to the worker pool, addressed back to its
+/// connection by `(slot, gen)` so a completion can never reach a reused
+/// slot.
+struct Job {
+    slot: usize,
+    gen: u64,
+    corr: u64,
+    req: Request,
+    /// The admission deadline: `min(request_timeout, client deadline)`
+    /// past the decode instant. A job still unstarted by then is shed
+    /// with [`Response::Busy`] — by the worker that pops it, or by the
+    /// reactor's tick scan if no worker ever frees up.
+    admit_by: Instant,
+}
+
+/// A worker's finished response, serialized off-reactor (response
+/// emission parallelizes with other work) and delivered to the
+/// connection's write buffer by the reactor.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    corr: u64,
+    payload: String,
+    close: bool,
+}
+
+struct WorkQueue {
+    jobs: VecDeque<Job>,
+    stopped: bool,
 }
 
 struct ServerState {
     cfg: ServeConfig,
     shutdown: AtomicBool,
     /// Gate on requests inside an `evaluate`/`simulate` body — the
-    /// admission bound and the drain gate shutdown waits on.
+    /// `workers_busy` stat and the drain gate shutdown waits on.
     inflight: InflightGate,
-    /// Connections currently owning a worker thread (the `workers`
-    /// admission bound).
-    conn_active: AtomicUsize,
+    queue: Mutex<WorkQueue>,
+    queue_changed: Condvar,
+    completions: Mutex<Vec<Completion>>,
     connections: AtomicU64,
     requests: AtomicU64,
     points_served: AtomicU64,
     shed_busy: AtomicU64,
     reaped_idle: AtomicU64,
-    /// Where the shutdown handler dials to pop the accept loop out of
-    /// its poll sleep early: the listener's own address, with an
-    /// unspecified bind IP (`0.0.0.0`/`[::]`) rewritten to the
-    /// matching loopback — the wildcard is bindable, not dialable
-    /// everywhere. The dial is retried but remains best-effort: the
-    /// accept loop polls a non-blocking listener, so even a fully
-    /// failed wake only costs one poll interval of shutdown latency —
-    /// never a hung daemon (regression-tested with a sabotaged dial
-    /// address).
-    wake_addr: Mutex<SocketAddr>,
+    open_conns: AtomicU64,
+    frames_inflight: AtomicU64,
+    pipelined_peak: AtomicU64,
+    wakeups: AtomicU64,
+    /// Test hook: when set, workers do not dial the reactor's wake pipe
+    /// after queueing a completion — progress must come from the
+    /// reactor's bounded tick alone.
+    wake_disabled: AtomicBool,
+}
+
+impl ServerState {
+    fn complete(&self, wake: &WakeHandle, completion: Completion) {
+        self.completions.lock().expect("completions lock").push(completion);
+        if !self.wake_disabled.load(Ordering::Relaxed) {
+            wake.wake();
+        }
+    }
 }
 
 /// A bound (but not yet serving) daemon. Binding and serving are split
 /// so callers can learn the actual address (`--addr 127.0.0.1:0` binds
-/// an ephemeral port) before the accept loop starts.
+/// an ephemeral port) before the reactor starts.
 pub struct Server {
     listener: TcpListener,
     store: ArtifactStore,
@@ -262,24 +305,23 @@ impl Server {
         cfg: ServeConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let mut wake_addr = listener.local_addr()?;
-        if wake_addr.ip().is_unspecified() {
-            wake_addr.set_ip(match wake_addr {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
         let state = Arc::new(ServerState {
             inflight: InflightGate::new(cfg.max_inflight),
             cfg,
             shutdown: AtomicBool::new(false),
-            conn_active: AtomicUsize::new(0),
+            queue: Mutex::new(WorkQueue { jobs: VecDeque::new(), stopped: false }),
+            queue_changed: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             points_served: AtomicU64::new(0),
             shed_busy: AtomicU64::new(0),
             reaped_idle: AtomicU64::new(0),
-            wake_addr: Mutex::new(wake_addr),
+            open_conns: AtomicU64::new(0),
+            frames_inflight: AtomicU64::new(0),
+            pipelined_peak: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            wake_disabled: AtomicBool::new(false),
         });
         Ok(Server { listener, store, state })
     }
@@ -294,98 +336,311 @@ impl Server {
         self.state.cfg
     }
 
-    /// Test hook: points the shutdown wake dial at a dead address so
-    /// the wake must fail, proving shutdown still completes through
-    /// the accept loop's poll fallback.
+    /// Test hook: suppresses the worker→reactor wake dial entirely, so
+    /// completions and shutdown must make progress through the
+    /// reactor's bounded tick alone — proving a lost wake can only cost
+    /// latency, never a hang.
     #[doc(hidden)]
     pub fn sabotage_wake_for_test(&self) {
-        // Port 1 on loopback: nothing listens there, the dial is
-        // refused immediately.
-        *self.state.wake_addr.lock().expect("wake addr lock") =
-            SocketAddr::from(([127, 0, 0, 1], 1));
+        self.state.wake_disabled.store(true, Ordering::SeqCst);
     }
 
-    /// Runs the accept loop until a client sends `shutdown`, then
-    /// drains in-flight work (bounded by
+    /// Runs the reactor until a client sends `shutdown`, then drains
+    /// queued work, busy workers and unwritten responses (bounded by
     /// [`ServeConfig::drain_timeout`]) and returns the serving
     /// counters.
-    ///
-    /// The listener runs non-blocking and is polled with a short
-    /// adaptive sleep: accepting a waiting client costs no latency,
-    /// and the shutdown flag is observed within one poll interval even
-    /// if the shutdown wake-up dial fails — the loop can never block
-    /// forever in `accept`. Each admitted connection gets its own
-    /// worker thread; workers exit when their client hangs up (or
-    /// idles past the deadline), so they are detached rather than
-    /// joined — only *busy* workers (inside an evaluate/simulate) gate
-    /// the drain.
     pub fn run(self) -> std::io::Result<ServeSummary> {
-        const POLL_MIN: Duration = Duration::from_millis(1);
-        const POLL_MAX: Duration = Duration::from_millis(10);
+        // The tick bounds every timer's latency (idle reap, write
+        // stall, admission expiry, drain) and doubles as the wake
+        // fallback: even with every wake lost, progress happens within
+        // one tick.
+        const TICK: Duration = Duration::from_millis(10);
         self.listener.set_nonblocking(true)?;
-        let mut poll = POLL_MIN;
-        let accept_error = loop {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break None;
-            }
-            let (stream, _peer) = match self.listener.accept() {
-                Ok(conn) => conn,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(poll);
-                    poll = (poll * 2).min(POLL_MAX);
-                    continue;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                // A dying listener still drains in-flight work below —
-                // the store must never be abandoned mid-spill.
-                Err(e) => break Some(e),
-            };
-            poll = POLL_MIN;
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                // `stream` may be a real client or the wake-up dial;
-                // either way nothing new is served past shutdown.
-                drop(stream);
-                break None;
-            }
-            // Accepted sockets may inherit the listener's non-blocking
-            // mode on some platforms; workers expect deadline-based
-            // blocking I/O.
-            let _ = stream.set_nonblocking(false);
-            if self.state.conn_active.load(Ordering::SeqCst) >= self.state.cfg.workers {
-                // Worker pool saturated: shed the connection with an
-                // explicit Busy instead of a hung socket. The frame is
-                // tiny and the write deadline bounds even a client
-                // that never reads.
-                shed_connection(stream, &self.state);
-                continue;
-            }
-            self.state.connections.fetch_add(1, Ordering::Relaxed);
-            self.state.conn_active.fetch_add(1, Ordering::SeqCst);
+        let (wake_pipe, wake_handle) = WakePipe::new()?;
+        for _ in 0..self.state.cfg.max_inflight.max(1) {
             let store = self.store.clone();
             let state = Arc::clone(&self.state);
-            std::thread::spawn(move || {
-                handle_connection(stream, store, &state);
-                state.conn_active.fetch_sub(1, Ordering::SeqCst);
-            });
-        };
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        // Drain: no new requests are admitted (workers acquire their
-        // inflight slot *before* re-checking the shutdown flag, so this
-        // wait cannot miss a request that saw the flag clear), and
-        // workers mid-evaluation finish (and spill) before we return —
-        // a disk-backed store is left with whole records only. The
-        // hard deadline bounds even a wedged evaluation.
-        let drained = self.state.inflight.drain(self.state.cfg.drain_timeout);
+            let wake = wake_handle.clone();
+            // Workers are detached: a wedged evaluation past the drain
+            // deadline must not keep `run` from returning.
+            std::thread::spawn(move || worker_loop(&store, &state, &wake));
+        }
+
+        let state = &self.state;
+        let cfg = state.cfg;
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut next_gen: u64 = 0;
+        let mut draining: Option<Instant> = None;
+        let mut accept_error: Option<std::io::Error> = None;
+        let mut drained = true;
+
+        enum Token {
+            Listener,
+            Wake,
+            Conn { slot: usize, gen: u64 },
+        }
+
+        loop {
+            // Build this tick's readiness set. A connection at its
+            // pipeline cap (or poisoned) gets no read interest — TCP
+            // backpressure does the rest; write interest only when
+            // bytes are pending.
+            let mut entries: Vec<(usize, i32, Interest)> = Vec::with_capacity(conns.len() + 2);
+            let mut tokens: Vec<Token> = Vec::with_capacity(conns.len() + 2);
+            if draining.is_none() && accept_error.is_none() {
+                entries.push((tokens.len(), raw_fd(&self.listener), Interest::Read));
+                tokens.push(Token::Listener);
+            }
+            entries.push((tokens.len(), wake_pipe.fd(), Interest::Read));
+            tokens.push(Token::Wake);
+            for (slot, conn) in conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let read = !conn.closing && (conn.inflight as usize) < cfg.pipeline_depth;
+                let write = conn.has_pending_write();
+                let interest = match (read, write) {
+                    (true, true) => Interest::Both,
+                    (true, false) => Interest::Read,
+                    (false, true) => Interest::Write,
+                    (false, false) => continue,
+                };
+                entries.push((tokens.len(), raw_fd(&conn.stream), interest));
+                tokens.push(Token::Conn { slot, gen: conn.gen });
+            }
+            let ready = reactor::wait(&entries, TICK);
+            state.wakeups.fetch_add(1, Ordering::Relaxed);
+            wake_pipe.drain();
+            let now = Instant::now();
+
+            let mut begin_drain = false;
+
+            // 1. Deliver worker completions into write buffers (the
+            //    generation check drops responses to recycled slots),
+            //    then re-pump the affected connections: frames already
+            //    accumulated past the pipeline cap decode now, without
+            //    waiting for fresh socket readiness.
+            let done: Vec<Completion> =
+                std::mem::take(&mut *state.completions.lock().expect("completions lock"));
+            let mut pump_slots: Vec<usize> = Vec::new();
+            for completion in done {
+                let slot = completion.slot;
+                deliver(&mut conns, completion, state);
+                if !pump_slots.contains(&slot) {
+                    pump_slots.push(slot);
+                }
+            }
+            for slot in pump_slots {
+                if slot < conns.len() && conns[slot].is_some() {
+                    begin_drain |=
+                        pump_decoded(&mut conns, slot, &self.store, state, draining.is_some());
+                }
+            }
+
+            // 2. Shed queued jobs whose admission deadline passed while
+            //    every worker was busy — the client hears Busy at its
+            //    deadline, not whenever a worker frees up.
+            shed_expired_jobs(&mut conns, state, now);
+
+            // 3. Socket readiness: reads decode and dispatch, writes
+            //    drain. Accepts are handled last so a slot freed this
+            //    tick cannot be reused while its stale readiness is
+            //    still pending.
+            let mut accepts_ready = false;
+            for r in &ready {
+                match tokens[r.token] {
+                    Token::Listener => accepts_ready = r.readable,
+                    Token::Wake => {}
+                    Token::Conn { slot, gen } => {
+                        if r.readable && matches!(&conns[slot], Some(c) if c.gen == gen) {
+                            begin_drain |= conn_read(
+                                &mut conns,
+                                slot,
+                                &self.store,
+                                state,
+                                draining.is_some(),
+                            );
+                        }
+                        if r.writable && matches!(&conns[slot], Some(c) if c.gen == gen) {
+                            conn_flush(&mut conns, slot, state);
+                        }
+                    }
+                }
+            }
+
+            // 4. Timers: idle reaping and stalled-writer eviction.
+            for slot in 0..conns.len() {
+                let drop_reason = match &conns[slot] {
+                    Some(c) => {
+                        if c.inflight == 0
+                            && !c.has_pending_write()
+                            && !c.closing
+                            && now.duration_since(c.last_activity) > cfg.idle_timeout
+                        {
+                            Some(true)
+                        } else if c
+                            .write_stalled_since
+                            .is_some_and(|since| now.duration_since(since) > cfg.write_timeout)
+                        {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    None => None,
+                };
+                if let Some(reaped) = drop_reason {
+                    if reaped {
+                        state.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop_conn(&mut conns, slot, state);
+                }
+            }
+
+            // 5. Accepts (skipped while draining).
+            if accepts_ready && draining.is_none() && accept_error.is_none() {
+                match accept_all(&self.listener, &mut conns, &mut next_gen, state) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        // A dying listener still drains in-flight work
+                        // below — the store must never be abandoned
+                        // mid-spill.
+                        accept_error = Some(e);
+                        state.shutdown.store(true, Ordering::SeqCst);
+                        draining.get_or_insert(now + cfg.drain_timeout);
+                    }
+                }
+            }
+
+            if begin_drain {
+                state.shutdown.store(true, Ordering::SeqCst);
+                draining.get_or_insert(now + cfg.drain_timeout);
+            }
+
+            // 6. Drain check: done when nothing is queued, executing,
+            //    or pending in a write buffer — or the hard deadline
+            //    passes.
+            if let Some(deadline) = draining {
+                let queue_empty =
+                    state.queue.lock().expect("work queue lock").jobs.is_empty();
+                let idle = state.frames_inflight.load(Ordering::SeqCst) == 0
+                    && state.inflight.busy() == 0;
+                let writes_flushed =
+                    conns.iter().flatten().all(|c| !c.has_pending_write());
+                if queue_empty && idle && writes_flushed {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    drained = false;
+                    break;
+                }
+            }
+        }
+
+        // Stop the worker pool; wedged workers stay detached.
+        {
+            let mut q = state.queue.lock().expect("work queue lock");
+            q.stopped = true;
+        }
+        state.queue_changed.notify_all();
+
         match accept_error {
             Some(e) => Err(e),
             None => Ok(ServeSummary {
-                connections: self.state.connections.load(Ordering::Relaxed),
-                requests: self.state.requests.load(Ordering::Relaxed),
-                points_served: self.state.points_served.load(Ordering::Relaxed),
-                shed_busy: self.state.shed_busy.load(Ordering::Relaxed),
-                reaped_idle: self.state.reaped_idle.load(Ordering::Relaxed),
+                connections: state.connections.load(Ordering::Relaxed),
+                requests: state.requests.load(Ordering::Relaxed),
+                points_served: state.points_served.load(Ordering::Relaxed),
+                shed_busy: state.shed_busy.load(Ordering::Relaxed),
+                reaped_idle: state.reaped_idle.load(Ordering::Relaxed),
                 drained,
             }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------------
+
+/// Per-connection state on the reactor: accumulation buffers for both
+/// directions plus the counters the admission and timer rules read.
+struct Conn {
+    stream: TcpStream,
+    /// Generation stamp: completions addressed to `(slot, gen)` are
+    /// dropped if the slot was recycled in between.
+    gen: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Requests decoded but not yet answered into the write buffer.
+    inflight: u32,
+    /// Requests decoded over this connection's lifetime (the
+    /// `max_requests_per_conn` quota).
+    served: u64,
+    last_activity: Instant,
+    /// Set when a write hit `WouldBlock` with bytes pending; cleared on
+    /// progress. Stalled past `write_timeout` ⇒ the connection is
+    /// dropped.
+    write_stalled_since: Option<Instant>,
+    /// Close once the write buffer drains; no further reads are decoded.
+    closing: bool,
+}
+
+impl Conn {
+    fn has_pending_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Queues one tagged response frame for writing.
+    fn push_frame(&mut self, corr: u64, resp: &Response) {
+        let payload = protocol::emit_response(resp);
+        self.push_payload(corr, &payload);
+    }
+
+    fn push_payload(&mut self, corr: u64, payload: &str) {
+        write_frame_tagged(&mut self.write_buf, corr, payload)
+            .expect("writing a frame to a Vec cannot fail");
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    conns: &mut Vec<Option<Conn>>,
+    next_gen: &mut u64,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if state.open_conns.load(Ordering::Relaxed) >= state.cfg.workers as u64 {
+            // Connection bound reached: shed with an explicit Busy
+            // instead of a hung socket. The frame is tiny and the
+            // write deadline bounds even a client that never reads.
+            shed_connection(stream, state);
+            continue;
+        }
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        state.connections.fetch_add(1, Ordering::Relaxed);
+        state.open_conns.fetch_add(1, Ordering::Relaxed);
+        *next_gen += 1;
+        let conn = Conn {
+            stream,
+            gen: *next_gen,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: 0,
+            served: 0,
+            last_activity: Instant::now(),
+            write_stalled_since: None,
+            closing: false,
+        };
+        match conns.iter_mut().position(|c| c.is_none()) {
+            Some(free) => conns[free] = Some(conn),
+            None => conns.push(Some(conn)),
         }
     }
 }
@@ -393,10 +648,317 @@ impl Server {
 /// Answers an over-admission connection with `Busy` and closes it.
 fn shed_connection(mut stream: TcpStream, state: &ServerState) {
     state.shed_busy.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
     let resp = Response::Busy { retry_after_ms: state.cfg.busy_retry_ms };
     let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
 }
+
+fn drop_conn(conns: &mut [Option<Conn>], slot: usize, state: &ServerState) {
+    if conns[slot].take().is_some() {
+        state.open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Delivers one worker completion: decrements the in-flight counters
+/// and, if the connection is still the same generation, appends the
+/// response frame and flushes opportunistically.
+fn deliver(conns: &mut [Option<Conn>], completion: Completion, state: &ServerState) {
+    state.frames_inflight.fetch_sub(1, Ordering::SeqCst);
+    let Completion { slot, gen, corr, payload, close } = completion;
+    let alive = slot < conns.len() && matches!(&conns[slot], Some(c) if c.gen == gen);
+    if !alive {
+        // The connection went away mid-request: the response is
+        // discarded, the computed measurements stay in the store.
+        return;
+    }
+    {
+        let conn = conns[slot].as_mut().expect("checked alive");
+        conn.inflight = conn.inflight.saturating_sub(1);
+        conn.push_payload(corr, &payload);
+        if close {
+            conn.closing = true;
+        }
+    }
+    conn_flush(conns, slot, state);
+}
+
+/// Sheds every queued job whose admission deadline has passed: the
+/// reactor answers Busy itself so a fully wedged worker pool cannot
+/// postpone the shed past the client's declared patience.
+fn shed_expired_jobs(conns: &mut [Option<Conn>], state: &ServerState, now: Instant) {
+    let expired: Vec<Job> = {
+        let mut q = state.queue.lock().expect("work queue lock");
+        if q.jobs.iter().all(|j| now <= j.admit_by) {
+            return;
+        }
+        let (keep, expired): (VecDeque<Job>, VecDeque<Job>) =
+            q.jobs.drain(..).partition(|j| now <= j.admit_by);
+        q.jobs = keep;
+        expired.into()
+    };
+    for job in expired {
+        state.shed_busy.fetch_add(1, Ordering::Relaxed);
+        let resp = Response::Busy { retry_after_ms: state.cfg.busy_retry_ms };
+        deliver(
+            conns,
+            Completion {
+                slot: job.slot,
+                gen: job.gen,
+                corr: job.corr,
+                payload: protocol::emit_response(&resp),
+                close: false,
+            },
+            state,
+        );
+    }
+}
+
+/// Pulls available bytes off the socket and decodes/dispatches every
+/// complete frame. Returns `true` when a `shutdown` request asks the
+/// daemon to begin draining.
+fn conn_read(
+    conns: &mut [Option<Conn>],
+    slot: usize,
+    store: &ArtifactStore,
+    state: &ServerState,
+    draining: bool,
+) -> bool {
+    // Per-tick read cap: one greedy peer cannot starve the other
+    // connections; level-triggered readiness re-reports the rest.
+    const READ_CAP: usize = 256 * 1024;
+    let mut eof = false;
+    {
+        let conn = conns[slot].as_mut().expect("caller checked slot");
+        let mut total = 0;
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut tmp) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&tmp[..n]);
+                    conn.last_activity = Instant::now();
+                    total += n;
+                    if total >= READ_CAP {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+    }
+    let begin_drain = pump_decoded(conns, slot, store, state, draining);
+    if eof {
+        // Clean close between frames, or dropped mid-frame: either way
+        // this connection is done; nothing shared is affected. Any
+        // in-flight work finishes into the store for the next client.
+        drop_conn(conns, slot, state);
+    }
+    begin_drain
+}
+
+/// Decodes every complete frame buffered on `slot` (up to the pipeline
+/// cap) and dispatches each request. Also called after completions
+/// drain, so frames that arrived while the connection was at its cap
+/// are decoded without new socket readiness. Returns `true` on a
+/// `shutdown` request.
+fn pump_decoded(
+    conns: &mut [Option<Conn>],
+    slot: usize,
+    store: &ArtifactStore,
+    state: &ServerState,
+    draining: bool,
+) -> bool {
+    let mut begin_drain = false;
+    let mut jobs: Vec<Job> = Vec::new();
+    {
+        let Some(conn) = conns[slot].as_mut() else { return false };
+        let mut consumed = 0;
+        while !conn.closing && (conn.inflight as usize) < state.cfg.pipeline_depth {
+            match decode_frame(&conn.read_buf[consumed..]) {
+                Ok(None) => break,
+                Ok(Some((corr, payload, used))) => {
+                    consumed += used;
+                    begin_drain |=
+                        process_request(conn, slot, corr, &payload, store, state, &mut jobs, draining);
+                }
+                Err(e) => {
+                    // Malformed framing: no resynchronization exists,
+                    // so answer (best-effort) and hang up. The store is
+                    // never touched with unvalidated input.
+                    let resp = Response::Error { message: format!("malformed frame: {e}") };
+                    conn.push_frame(0, &resp);
+                    conn.closing = true;
+                    break;
+                }
+            }
+        }
+        conn.read_buf.drain(..consumed);
+    }
+    if !jobs.is_empty() {
+        let mut q = state.queue.lock().expect("work queue lock");
+        for job in jobs {
+            q.jobs.push_back(job);
+            state.queue_changed.notify_one();
+        }
+    }
+    conn_flush(conns, slot, state);
+    begin_drain
+}
+
+/// Handles one decoded request on the reactor: quota and version
+/// checks, inline answers for the cheap verbs, and work-queue dispatch
+/// for `evaluate`/`simulate`. Returns `true` on a `shutdown` request.
+#[allow(clippy::too_many_arguments)]
+fn process_request(
+    conn: &mut Conn,
+    slot: usize,
+    corr: u64,
+    payload: &str,
+    store: &ArtifactStore,
+    state: &ServerState,
+    jobs: &mut Vec<Job>,
+    draining: bool,
+) -> bool {
+    let cfg = &state.cfg;
+    // Per-connection request quota: a connection that exhausts it is
+    // recycled with Busy — reconnecting re-enters the admission gate,
+    // so no client monopolizes a connection slot indefinitely.
+    if cfg.max_requests_per_conn > 0 && conn.served >= cfg.max_requests_per_conn {
+        state.shed_busy.fetch_add(1, Ordering::Relaxed);
+        conn.push_frame(corr, &Response::Busy { retry_after_ms: cfg.busy_retry_ms });
+        conn.closing = true;
+        return false;
+    }
+    let req = match protocol::parse_request(payload) {
+        Ok(req) => req,
+        // A frame that parsed but isn't a well-formed request:
+        // per-request error. Version skew additionally drops the
+        // connection — the peer will keep speaking the wrong dialect.
+        Err(e) => {
+            let msg = e.to_string();
+            let skew = msg.contains("version skew");
+            conn.served += 1;
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            conn.push_frame(corr, &Response::Error { message: msg });
+            if skew {
+                conn.closing = true;
+            }
+            return false;
+        }
+    };
+    if draining {
+        // A connection lingering past shutdown is refused, not served:
+        // the daemon has already begun draining and its store may be
+        // about to go away with the process.
+        conn.push_frame(corr, &Response::Error {
+            message: "daemon is shutting down".to_string(),
+        });
+        conn.closing = true;
+        return false;
+    }
+    conn.served += 1;
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    match req {
+        // The cheap verbs are answered inline on the reactor — always
+        // answerable, even with every worker busy: an operator must be
+        // able to probe or stop a saturated daemon.
+        Request::Ping => {
+            conn.push_frame(corr, &Response::Pong);
+            false
+        }
+        Request::Stats => {
+            conn.push_frame(corr, &Response::Stats(stats(store, state)));
+            false
+        }
+        Request::Shutdown => {
+            // Ack first (the frame is queued ahead of the drain and
+            // flushed by the continuing loop, so the requester always
+            // hears back), then begin draining and recycle the
+            // connection.
+            conn.push_frame(corr, &Response::ShuttingDown);
+            conn.closing = true;
+            true
+        }
+        req @ (Request::Evaluate { .. } | Request::Simulate { .. }) => {
+            // The client's remaining patience can only shorten the
+            // server's own admission cap: work that cannot start
+            // before the client gives up is shed, not burned.
+            let mut wait = cfg.request_timeout;
+            if let Request::Evaluate { deadline_ms, .. } = &req {
+                if *deadline_ms > 0 {
+                    wait = wait.min(Duration::from_millis(*deadline_ms));
+                }
+            }
+            conn.inflight += 1;
+            let depth = u64::from(conn.inflight);
+            state.frames_inflight.fetch_add(1, Ordering::SeqCst);
+            state.pipelined_peak.fetch_max(depth, Ordering::Relaxed);
+            jobs.push(Job {
+                slot,
+                gen: conn.gen,
+                corr,
+                req,
+                admit_by: Instant::now() + wait,
+            });
+            false
+        }
+    }
+}
+
+/// Drains as much of the write buffer as the socket accepts; on a
+/// write failure — or a completed flush of a closing connection — the
+/// connection is dropped.
+fn conn_flush(conns: &mut [Option<Conn>], slot: usize, state: &ServerState) {
+    let Some(conn) = conns[slot].as_mut() else { return };
+    let mut dead = false;
+    while conn.has_pending_write() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.write_pos += n;
+                conn.write_stalled_since = None;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if conn.write_stalled_since.is_none() {
+                    conn.write_stalled_since = Some(Instant::now());
+                }
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                dead = true;
+                break;
+            }
+        }
+    }
+    if !conn.has_pending_write() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        conn.write_stalled_since = None;
+        if conn.closing {
+            dead = true;
+        }
+    }
+    if dead {
+        drop_conn(conns, slot, state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
 
 /// Releases an inflight slot on every exit path of a request body.
 struct SlotGuard<'a>(&'a InflightGate);
@@ -407,147 +969,60 @@ impl Drop for SlotGuard<'_> {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, store: ArtifactStore, state: &ServerState) {
-    // Every read and write on this connection carries a deadline: a
-    // silent or slow client is reaped, never a parked thread.
-    let _ = stream.set_read_timeout(Some(state.cfg.idle_timeout));
-    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut served: u64 = 0;
+/// One worker thread: pops jobs, sheds the ones whose admission
+/// deadline passed in the queue, executes the rest through the shared
+/// store, and hands the serialized response back to the reactor.
+fn worker_loop(store: &ArtifactStore, state: &ServerState, wake: &WakeHandle) {
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(p) => p,
-            // Clean close between frames, or dropped mid-frame: either
-            // way this connection is done; nothing shared is affected.
-            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
-            // Idle past the read deadline (or trickling a frame): reap
-            // the connection and reclaim its worker slot. No farewell
-            // frame — an idle peer is not mid-exchange, and a stalled
-            // one is not reading.
-            Err(FrameError::TimedOut) => {
-                state.reaped_idle.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            // Malformed framing: no resynchronization exists, so answer
-            // (best-effort) and hang up.
-            Err(e) => {
-                let resp = Response::Error { message: format!("malformed frame: {e}") };
-                let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
-                return;
-            }
-        };
-        // Per-connection request quota: a connection that exhausts it
-        // is recycled with Busy — reconnecting re-enters the admission
-        // gate, so no client monopolizes a worker slot indefinitely.
-        if state.cfg.max_requests_per_conn > 0 && served >= state.cfg.max_requests_per_conn {
-            state.shed_busy.fetch_add(1, Ordering::Relaxed);
-            let resp = Response::Busy { retry_after_ms: state.cfg.busy_retry_ms };
-            let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
-            return;
-        }
-        let (response, disconnect) = match protocol::parse_request(&payload) {
-            Ok(req) => match admit(req, &store, state) {
-                Admission::Served(resp, disconnect) => (resp, disconnect),
-                Admission::Shed => {
-                    state.shed_busy.fetch_add(1, Ordering::Relaxed);
-                    (Response::Busy { retry_after_ms: state.cfg.busy_retry_ms }, false)
+        let job = {
+            let mut q = state.queue.lock().expect("work queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
                 }
-                Admission::Refused => {
-                    // A connection lingering past shutdown is refused,
-                    // not served: the daemon has already drained and
-                    // its store may be about to go away with the
-                    // process.
-                    let resp =
-                        Response::Error { message: "daemon is shutting down".to_string() };
-                    let _ = write_frame(&mut stream, &protocol::emit_response(&resp));
+                if q.stopped {
                     return;
                 }
-            },
-            // A frame that parsed but isn't a well-formed request:
-            // per-request error. Version skew additionally drops the
-            // connection — the peer will keep speaking the wrong
-            // dialect.
-            Err(e) => {
-                let msg = e.to_string();
-                let skew = msg.contains("version skew");
-                (Response::Error { message: msg }, skew)
+                q = state.queue_changed.wait(q).expect("work queue wait");
             }
         };
-        served += 1;
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let sent = write_frame(&mut stream, &protocol::emit_response(&response)).is_ok();
-        if matches!(response, Response::ShuttingDown) {
-            // Flag only after the ack is on the wire, so the requester
-            // always hears back; then nudge the accept loop out of its
-            // poll sleep with a throwaway self-connection. The dial is
-            // retried but purely a latency optimization — the poll
-            // observes the flag within one interval regardless.
-            state.shutdown.store(true, Ordering::SeqCst);
-            let wake = *state.wake_addr.lock().expect("wake addr lock");
-            for _ in 0..3 {
-                if TcpStream::connect_timeout(&wake, Duration::from_millis(100)).is_ok() {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            return;
-        }
-        if disconnect || !sent {
-            return;
-        }
+        let (resp, close) = if Instant::now() > job.admit_by {
+            // Queued past its admission deadline: shed, never started.
+            state.shed_busy.fetch_add(1, Ordering::Relaxed);
+            (Response::Busy { retry_after_ms: state.cfg.busy_retry_ms }, false)
+        } else if !state.inflight.acquire(state.cfg.request_timeout) {
+            // Unreachable in practice (the pool is sized to the gate),
+            // kept as a defensive shed rather than a panic.
+            state.shed_busy.fetch_add(1, Ordering::Relaxed);
+            (Response::Busy { retry_after_ms: state.cfg.busy_retry_ms }, false)
+        } else {
+            let slot = SlotGuard(&state.inflight);
+            // The slot is acquired BEFORE the shutdown re-check: either
+            // this worker observes the flag clear — in which case the
+            // drain (which starts only after the flag is set) sees the
+            // occupied slot and waits for us — or it observes the flag
+            // set and refuses. A request can never slip between
+            // "shutdown flagged" and "drain complete".
+            let out = if state.shutdown.load(Ordering::SeqCst) {
+                (Response::Error { message: "daemon is shutting down".to_string() }, true)
+            } else {
+                let (resp, _) = dispatch(job.req, store, state);
+                (resp, false)
+            };
+            drop(slot);
+            out
+        };
+        state.complete(
+            wake,
+            Completion {
+                slot: job.slot,
+                gen: job.gen,
+                corr: job.corr,
+                payload: protocol::emit_response(&resp),
+                close,
+            },
+        );
     }
-}
-
-/// The verdict of the admission gate on one parsed request.
-enum Admission {
-    /// Admitted and dispatched; carries the response and whether the
-    /// connection must close after it.
-    Served(Response, bool),
-    /// Pool saturated past the request's deadline: shed with `Busy`.
-    Shed,
-    /// The daemon is past shutdown: refuse and hang up.
-    Refused,
-}
-
-fn admit(req: Request, store: &ArtifactStore, state: &ServerState) -> Admission {
-    // Only the verbs that do real work contend for an inflight slot;
-    // ping/stats/shutdown stay cheap and always answerable (an
-    // operator must be able to probe or stop a saturated daemon).
-    let slot = match &req {
-        Request::Evaluate { deadline_ms, .. } => {
-            // The client's remaining patience can only shorten the
-            // server's own cap: work that cannot start before the
-            // client gives up is shed, not burned.
-            let mut wait = state.cfg.request_timeout;
-            if *deadline_ms > 0 {
-                wait = wait.min(Duration::from_millis(*deadline_ms));
-            }
-            if !state.inflight.acquire(wait) {
-                return Admission::Shed;
-            }
-            Some(SlotGuard(&state.inflight))
-        }
-        Request::Simulate { .. } => {
-            if !state.inflight.acquire(state.cfg.request_timeout) {
-                return Admission::Shed;
-            }
-            Some(SlotGuard(&state.inflight))
-        }
-        _ => None,
-    };
-    // The slot is acquired BEFORE the shutdown re-check: either this
-    // thread observes the flag clear — in which case the drain (which
-    // starts only after the flag is set) sees the occupied slot and
-    // waits for us — or it observes the flag set and refuses. A
-    // request can never slip between "shutdown flagged" and "drain
-    // complete".
-    if state.shutdown.load(Ordering::SeqCst) {
-        drop(slot);
-        return Admission::Refused;
-    }
-    let (response, disconnect) = dispatch(req, store, state);
-    drop(slot);
-    Admission::Served(response, disconnect)
 }
 
 fn dispatch(req: Request, store: &ArtifactStore, state: &ServerState) -> (Response, bool) {
@@ -596,6 +1071,10 @@ fn stats(store: &ArtifactStore, state: &ServerState) -> ServiceStats {
         workers_max: state.cfg.max_inflight as u64,
         shed_busy: state.shed_busy.load(Ordering::Relaxed),
         reaped_idle: state.reaped_idle.load(Ordering::Relaxed),
+        open_connections: state.open_conns.load(Ordering::Relaxed),
+        frames_inflight: state.frames_inflight.load(Ordering::SeqCst),
+        pipelined_peak: state.pipelined_peak.load(Ordering::Relaxed),
+        reactor_wakeups: state.wakeups.load(Ordering::Relaxed),
         disk: s.disk,
     }
 }

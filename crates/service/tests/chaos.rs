@@ -9,8 +9,8 @@ use oriole_arch::{Gpu, GpuSpec};
 use oriole_codegen::TuningParams;
 use oriole_kernels::KernelId;
 use oriole_service::{
-    ChaosPlan, ChaosProxy, Client, EvalScope, FaultSpec, RemoteEvaluator, RetryPolicy,
-    ServeConfig, ServeSummary, Server, ServiceError,
+    ChaosPlan, ChaosProxy, Client, CoalesceConfig, EvalScope, FaultSpec, RemoteEvaluator,
+    RetryPolicy, ServeConfig, ServeSummary, Server, ServiceError,
 };
 use oriole_tuner::persist::{read_frame, write_frame};
 use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, Measurement, SearchSpace};
@@ -246,6 +246,129 @@ fn daemon_death_mid_sweep_latches_and_a_restart_resumes_bit_identically() {
     );
     shutdown_daemon(daemon, handle);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_connection_cut_mid_frame_heals_bit_identically() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::K20.spec();
+    let local = local_sweep(KernelId::Atax, gpu, &[64], &space);
+
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    // Connection 0 is the evaluator's side-channel Client (never
+    // faulted here); connections 1 and 2 are pipelines that die
+    // mid-response-frame — one inside the 24-byte header, one inside a
+    // payload — each with several chunked frames in flight. The third
+    // pipeline is clean.
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::sequence(vec![
+            FaultSpec::clean(),
+            FaultSpec { cut_response_after: Some(7), ..FaultSpec::clean() },
+            FaultSpec { cut_response_after: Some(40), ..FaultSpec::clean() },
+        ]),
+    )
+    .expect("proxy");
+
+    let client =
+        Client::connect_with(&proxy.addr().to_string(), test_policy()).expect("connect");
+    let remote = RemoteEvaluator::with_coalesce(
+        client,
+        scope("atax", gpu, &[64]),
+        // Tiny chunks: the sweep crosses as multiple frames in flight
+        // on one pipeline, so the cut strands several requests at once.
+        CoalesceConfig { max_batch_points: 2, max_frames: 4, ..CoalesceConfig::default() },
+    );
+    let healed = remote.evaluate_batch(&points).expect("heals");
+    assert_eq!(remote.take_error(), None);
+    assert_eq!(healed, local, "healed pipelined sweep is bit-identical to local");
+    for (r, l) in healed.iter().zip(&local) {
+        assert_eq!(r.time_ms.to_bits(), l.time_ms.to_bits());
+    }
+    assert!(remote.batches_sent() >= 2, "chunks were pipelined: {}", remote.batches_sent());
+    assert!(proxy.connections() >= 4, "healing re-dialed the pipeline: {}", proxy.connections());
+
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn pipelined_response_corruption_heals_bit_identically_without_misdelivery() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::M40.spec();
+    let local = local_sweep(KernelId::Bicg, gpu, &[32], &space);
+
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    // Stream offset 20 sits inside the first response frame's
+    // correlation-id field (bytes 16..24 of the 24-byte header): the
+    // tampered id fails the frame checksum — which covers the id
+    // exactly so corruption can *reroute* nothing — and the pipeline
+    // poisons instead of delivering to the wrong ticket.
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::sequence(vec![
+            FaultSpec::clean(),
+            FaultSpec { corrupt_response_at: Some(20), ..FaultSpec::clean() },
+        ]),
+    )
+    .expect("proxy");
+
+    let client =
+        Client::connect_with(&proxy.addr().to_string(), test_policy()).expect("connect");
+    let remote = RemoteEvaluator::with_coalesce(
+        client,
+        scope("bicg", gpu, &[32]),
+        CoalesceConfig { max_batch_points: 2, max_frames: 4, ..CoalesceConfig::default() },
+    );
+    let healed = remote.evaluate_batch(&points).expect("heals");
+    assert_eq!(remote.take_error(), None);
+    assert_eq!(healed, local, "healed run is bit-identical — corruption delivered nothing");
+    assert!(proxy.connections() >= 3, "the poisoned pipeline was replaced");
+
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
+}
+
+#[test]
+fn a_black_hole_under_a_pipelined_sweep_latches_loudly_within_budget() {
+    let (daemon, handle) = spawn_server(ArtifactStore::new());
+    let proxy = ChaosProxy::spawn(
+        daemon,
+        ChaosPlan::always(FaultSpec { delay_response_ms: 60_000, ..FaultSpec::clean() }),
+    )
+    .expect("proxy");
+
+    let policy = RetryPolicy {
+        max_retries: 1,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        rpc_timeout: Duration::from_millis(150),
+        jitter_seed: 42,
+    };
+    let started = Instant::now();
+    let client = Client::connect_with(&proxy.addr().to_string(), policy).expect("connect");
+    let remote = RemoteEvaluator::with_coalesce(
+        client,
+        scope("atax", Gpu::K20.spec(), &[64]),
+        CoalesceConfig { max_batch_points: 1, max_frames: 4, ..CoalesceConfig::default() },
+    );
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    assert!(
+        remote.evaluate_batch(&points).is_none(),
+        "a silent daemon cannot answer a pipelined sweep"
+    );
+    let elapsed = started.elapsed();
+    let err = remote.take_error().expect("black hole must latch an error");
+    assert!(!err.is_empty());
+    // Two attempts bounded by the 150ms progress deadline each, plus
+    // backoff: loud latch in seconds, never an unbounded hang.
+    assert!(elapsed < Duration::from_secs(5), "latched after {elapsed:?}, deadline not honored");
+
+    proxy.stop();
+    shutdown_daemon(daemon, handle);
 }
 
 #[test]

@@ -7,7 +7,11 @@
 use oriole_arch::{Gpu, GpuSpec};
 use oriole_codegen::TuningParams;
 use oriole_kernels::KernelId;
-use oriole_service::{Client, EvalScope, RemoteEvaluator, Server, ServeSummary};
+use oriole_service::protocol::{Request, Response};
+use oriole_service::{
+    Client, CoalesceConfig, EvalScope, Pipeline, RemoteEvaluator, RetryPolicy, Server,
+    ServeSummary,
+};
 use oriole_sim::ModelId;
 use oriole_tuner::persist::{read_frame, write_frame};
 use oriole_tuner::{
@@ -237,6 +241,116 @@ fn protocol_abuse_poisons_nothing_but_its_own_connection() {
     assert_eq!(remote, local, "the store survived the abuse untouched");
 
     honest.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_and_stay_bit_identical() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::K20.spec();
+    let sizes = [64u64];
+    let local = local_sweep(KernelId::Atax, gpu, &sizes, &space);
+    let sc = scope("atax", gpu, &sizes);
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let pipe = Pipeline::connect(&addr, 8, &RetryPolicy::default()).expect("connect");
+
+    // One frame per point, all in flight at once, redeemed in *reverse*
+    // send order — correlation ids, not arrival order, route responses.
+    let tickets: Vec<_> = points
+        .iter()
+        .map(|p| {
+            pipe.send(&Request::Evaluate {
+                scope: sc.clone(),
+                points: vec![*p],
+                deadline_ms: 0,
+            })
+            .expect("send")
+        })
+        .collect();
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for ticket in tickets.into_iter().rev() {
+        match pipe.wait(ticket).expect("wait") {
+            Response::Evaluate { measurements: mut ms, .. } => {
+                measurements.push(ms.remove(0))
+            }
+            other => panic!("expected measurements, got {other:?}"),
+        }
+    }
+    measurements.reverse();
+    assert_eq!(measurements, local, "pipelined results are the local numbers bit-for-bit");
+
+    // The daemon saw real pipelining and is idle again now.
+    let client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(stats.pipelined_peak >= 2, "frames overlapped in flight: {stats:?}");
+    assert_eq!(stats.frames_inflight, 0, "everything delivered: {stats:?}");
+    assert!(stats.open_connections >= 1, "{stats:?}");
+    assert!(stats.reactor_wakeups > 0, "{stats:?}");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn coalesced_concurrent_evaluators_are_bit_identical_to_sequential() {
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let gpu = Gpu::K20.spec();
+    let sizes = [64u64];
+    let local = local_sweep(KernelId::Atax, gpu, &sizes, &space);
+    let sc = scope("atax", gpu, &sizes);
+
+    let (addr, handle) = spawn_server(ArtifactStore::new());
+    let client = Client::connect(&addr).expect("connect");
+    let remote = Arc::new(RemoteEvaluator::with_coalesce(
+        client,
+        sc,
+        // Tiny chunks force multi-frame batches through the pipeline.
+        CoalesceConfig { max_batch_points: 2, ..CoalesceConfig::default() },
+    ));
+
+    // Eight threads hammer the one evaluator with overlapping slices;
+    // their misses coalesce into shared batched frames.
+    let results: Vec<Vec<Measurement>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let remote = Arc::clone(&remote);
+                let points = points.clone();
+                s.spawn(move || {
+                    // Each thread starts at a different offset so the
+                    // pending set mixes contributions from many threads.
+                    let mut mine: Vec<TuningParams> = points[i % points.len()..].to_vec();
+                    mine.extend_from_slice(&points[..i % points.len()]);
+                    let got = remote.evaluate_batch(&mine).expect("evaluate");
+                    let mut by_input: Vec<(TuningParams, Measurement)> =
+                        mine.into_iter().zip(got).collect();
+                    by_input.sort_by_key(|(p, _)| format!("{p}"));
+                    by_input.into_iter().map(|(_, m)| m).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    assert_eq!(remote.take_error(), None, "no RPC failures");
+
+    let mut reference: Vec<(TuningParams, Measurement)> =
+        points.iter().cloned().zip(local.clone()).collect();
+    reference.sort_by_key(|(p, _)| format!("{p}"));
+    let reference: Vec<Measurement> = reference.into_iter().map(|(_, m)| m).collect();
+    for r in &results {
+        assert_eq!(r, &reference, "every thread sees the sequential/local numbers");
+    }
+
+    // Coalescing happened (frames carried real batches) and the store
+    // still computed each point exactly once.
+    assert!(remote.batches_sent() >= 1, "{}", remote.batches_sent());
+    assert!(remote.peak_batch() >= 2, "chunks carry >1 point: {}", remote.peak_batch());
+    assert_eq!(remote.fetched() as usize, points.len(), "each distinct point fetched once");
+    let probe = Client::connect(&addr).expect("connect");
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.unique_evaluations as usize, points.len());
+    probe.shutdown().expect("shutdown");
     handle.join().expect("server thread");
 }
 

@@ -6,8 +6,8 @@
 use oriole_arch::Gpu;
 use oriole_codegen::TuningParams;
 use oriole_service::protocol::{self, EvalScope, Request, Response};
-use oriole_service::{Client, RetryPolicy, ServiceError};
-use oriole_tuner::persist::{read_frame, write_frame};
+use oriole_service::{Client, Pipeline, RetryPolicy, ServiceError};
+use oriole_tuner::persist::{read_frame_tagged, write_frame_tagged};
 use oriole_tuner::{EvalProtocol, Measurement};
 use std::net::TcpListener;
 use std::thread::JoinHandle;
@@ -20,6 +20,9 @@ enum Tamper {
     Reorder,
     /// Drop the last measurement (violates the one-per-point contract).
     ShortChange,
+    /// Answer honestly but tag the response with a correlation id the
+    /// client never issued (violates the id-echo contract).
+    WrongId,
 }
 
 fn fake_measurement(params: TuningParams, time_ms: f64) -> Measurement {
@@ -45,7 +48,7 @@ fn spawn_mock(tamper: Tamper) -> (String, JoinHandle<()>) {
             Ok(conn) => conn,
             Err(_) => return,
         };
-        while let Ok(payload) = read_frame(&mut stream) {
+        while let Ok((corr, payload)) = read_frame_tagged(&mut stream) {
             let response = match protocol::parse_request(&payload) {
                 Ok(Request::Evaluate { points, .. }) => {
                     let mut measurements: Vec<Measurement> = points
@@ -58,12 +61,19 @@ fn spawn_mock(tamper: Tamper) -> (String, JoinHandle<()>) {
                         Tamper::ShortChange => {
                             measurements.pop();
                         }
+                        Tamper::WrongId => {}
                     }
                     Response::Evaluate { computed: measurements.len() as u64, measurements }
                 }
                 Ok(_) | Err(_) => Response::Error { message: "mock only evaluates".into() },
             };
-            if write_frame(&mut stream, &protocol::emit_response(&response)).is_err() {
+            let reply_corr = match tamper {
+                Tamper::WrongId => corr + 1,
+                _ => corr,
+            };
+            if write_frame_tagged(&mut stream, reply_corr, &protocol::emit_response(&response))
+                .is_err()
+            {
                 return;
             }
         }
@@ -114,5 +124,43 @@ fn short_changed_measurements_are_rejected_as_a_protocol_error() {
         other => panic!("expected a protocol error, got {other:?}"),
     }
     drop(client);
+    handle.join().expect("mock thread");
+}
+
+#[test]
+fn a_response_with_the_wrong_correlation_id_is_rejected_not_delivered() {
+    let (addr, handle) = spawn_mock(Tamper::WrongId);
+    let client = Client::connect_with(&addr, RetryPolicy::fail_fast()).expect("connect");
+    let err = client.evaluate(&scope(), &points()).expect_err("wrong id must be caught");
+    match &err {
+        ServiceError::Protocol(m) => {
+            assert!(m.contains("correlation id"), "names the id mismatch: {m}");
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    drop(client);
+    handle.join().expect("mock thread");
+}
+
+#[test]
+fn a_pipelined_response_with_an_unknown_id_poisons_the_pipeline() {
+    let (addr, handle) = spawn_mock(Tamper::WrongId);
+    let pipe = Pipeline::connect(&addr, 4, &RetryPolicy::fail_fast()).expect("connect");
+    let ticket = pipe
+        .send(&Request::Evaluate {
+            scope: scope(),
+            points: points(),
+            deadline_ms: 0,
+        })
+        .expect("send");
+    let err = pipe.wait(ticket).expect_err("unknown id must poison, never deliver");
+    match &err {
+        ServiceError::Protocol(m) => {
+            assert!(m.contains("unknown correlation id"), "names the stray id: {m}");
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    assert!(pipe.is_poisoned(), "the whole pipeline is condemned");
+    drop(pipe);
     handle.join().expect("mock thread");
 }

@@ -805,6 +805,10 @@ pub(crate) fn open_tier(dir: &Path, scope: &str, counters: &Arc<DiskCounters>) -
 /// Magic bytes opening every wire frame (`ORLF` — "oriole frame").
 pub const FRAME_MAGIC: [u8; 4] = *b"ORLF";
 
+/// Fixed size of the frame header preceding every payload:
+/// `ORLF | len: u32 BE | crc: u64 BE | corr: u64 BE`.
+pub const FRAME_HEADER_BYTES: usize = 24;
+
 /// Upper bound on a single frame's payload. A full 5,120-point evaluate
 /// batch with per-size records is well under 2 MiB; anything near this
 /// bound is a corrupted length field, not a legitimate payload.
@@ -854,20 +858,49 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Writes one length-framed, checksummed frame:
-/// `ORLF | len: u32 BE | fnv64(payload): u64 BE | payload bytes`.
+/// FNV-1a over the correlation id (big-endian bytes) followed by the
+/// payload. Covering the id means a frame whose id is corrupted in
+/// flight fails its checksum instead of being delivered to whichever
+/// request happens to own the mangled id.
+pub fn frame_checksum(corr: u64, payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in corr.to_be_bytes().iter().chain(payload.iter()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes one length-framed, checksummed, correlation-tagged frame:
+/// `ORLF | len: u32 BE | fnv64(corr ++ payload): u64 BE | corr: u64 BE |
+/// payload bytes`.
+///
+/// The correlation id lets one connection carry many requests in
+/// flight: a peer echoes the id back so responses can arrive out of
+/// order. Single-shot exchanges use [`write_frame`], which tags with 0.
 ///
 /// The single buffered `write_all` keeps frames contiguous even when
 /// several threads share one stream behind a mutex.
-pub fn write_frame(w: &mut impl std::io::Write, payload: &str) -> std::io::Result<()> {
+pub fn write_frame_tagged(
+    w: &mut impl std::io::Write,
+    corr: u64,
+    payload: &str,
+) -> std::io::Result<()> {
     let bytes = payload.as_bytes();
-    let mut buf = Vec::with_capacity(16 + bytes.len());
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + bytes.len());
     buf.extend_from_slice(&FRAME_MAGIC);
     buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&checksum(bytes).to_be_bytes());
+    buf.extend_from_slice(&frame_checksum(corr, bytes).to_be_bytes());
+    buf.extend_from_slice(&corr.to_be_bytes());
     buf.extend_from_slice(bytes);
     w.write_all(&buf)?;
     w.flush()
+}
+
+/// Writes one frame with correlation id 0 — the single-shot form used
+/// everywhere a connection has at most one request in flight.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &str) -> std::io::Result<()> {
+    write_frame_tagged(w, 0, payload)
 }
 
 /// Maps a raw I/O error to the frame-level verdict: an expired
@@ -894,12 +927,13 @@ fn read_exact_or(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<(), Frame
     })
 }
 
-/// Reads exactly one [`write_frame`] frame, verifying magic, length
-/// bound and checksum. A clean close before the first magic byte is
-/// [`FrameError::Eof`]; everything else that isn't a verified payload is
-/// an error the caller must treat as a poisoned stream (framing offers
-/// no resynchronization).
-pub fn read_frame(r: &mut impl std::io::Read) -> Result<String, FrameError> {
+/// Reads exactly one [`write_frame_tagged`] frame, verifying magic,
+/// length bound and checksum, and returning `(correlation id, payload)`.
+/// A clean close before the first magic byte is [`FrameError::Eof`];
+/// everything else that isn't a verified payload is an error the caller
+/// must treat as a poisoned stream (framing offers no
+/// resynchronization).
+pub fn read_frame_tagged(r: &mut impl std::io::Read) -> Result<(u64, String), FrameError> {
     let mut magic = [0u8; 4];
     // Distinguish "closed between frames" from "dropped mid-frame": read
     // the first byte separately.
@@ -921,12 +955,59 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<String, FrameError> {
     let mut crc = [0u8; 8];
     read_exact_or(r, &mut crc)?;
     let crc = u64::from_be_bytes(crc);
+    let mut corr = [0u8; 8];
+    read_exact_or(r, &mut corr)?;
+    let corr = u64::from_be_bytes(corr);
     let mut payload = vec![0u8; len as usize];
     read_exact_or(r, &mut payload)?;
-    if checksum(&payload) != crc {
+    if frame_checksum(corr, &payload) != crc {
         return Err(FrameError::BadChecksum);
     }
-    String::from_utf8(payload).map_err(|_| FrameError::BadUtf8)
+    let payload = String::from_utf8(payload).map_err(|_| FrameError::BadUtf8)?;
+    Ok((corr, payload))
+}
+
+/// Reads one frame and discards its correlation id — the single-shot
+/// counterpart of [`write_frame`].
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<String, FrameError> {
+    read_frame_tagged(r).map(|(_, payload)| payload)
+}
+
+/// Attempts to decode one frame from the front of an accumulation
+/// buffer without blocking: `Ok(Some((corr, payload, consumed)))` when a
+/// complete verified frame is present (the caller drains `consumed`
+/// bytes), `Ok(None)` when more bytes are needed, and `Err` on the same
+/// unrecoverable conditions as [`read_frame_tagged`]. This is the
+/// decode step for event-driven readers that accumulate nonblocking
+/// reads instead of issuing blocking `read_exact` calls.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(u64, String, usize)>, FrameError> {
+    // Reject bad magic on the first divergent byte rather than waiting
+    // for four: a desynchronized peer is detected as early as possible.
+    let have = buf.len().min(4);
+    if buf[..have] != FRAME_MAGIC[..have] {
+        let mut magic = [0u8; 4];
+        magic[..have].copy_from_slice(&buf[..have]);
+        return Err(FrameError::BadMagic(magic));
+    }
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let total = FRAME_HEADER_BYTES + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let crc = u64::from_be_bytes(buf[8..16].try_into().expect("8-byte slice"));
+    let corr = u64::from_be_bytes(buf[16..24].try_into().expect("8-byte slice"));
+    let payload = &buf[FRAME_HEADER_BYTES..total];
+    if frame_checksum(corr, payload) != crc {
+        return Err(FrameError::BadChecksum);
+    }
+    let payload = std::str::from_utf8(payload).map_err(|_| FrameError::BadUtf8)?;
+    Ok(Some((corr, payload.to_string(), total)))
 }
 
 // ---------------------------------------------------------------------------
@@ -1318,7 +1399,14 @@ mod tests {
         let mut tampered = buf.clone();
         let last = tampered.len() - 1;
         tampered[last] ^= 0x01;
-        let mut cursor = &tampered[16 + payload.len()..];
+        let mut cursor = &tampered[FRAME_HEADER_BYTES + payload.len()..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::BadChecksum)));
+
+        // A flipped correlation-id byte also fails the checksum — a
+        // corrupted id must never deliver a frame under the wrong id.
+        let mut tampered = buf.clone();
+        tampered[17] ^= 0x01;
+        let mut cursor = &tampered[..];
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::BadChecksum)));
 
         // Wrong magic and oversized length are rejected up front.
@@ -1334,6 +1422,61 @@ mod tests {
         // A connection dropped mid-frame is an I/O error, not Eof.
         let mut cursor = &buf[..7];
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn tagged_frames_round_trip_correlation_ids() {
+        let mut buf = Vec::new();
+        write_frame_tagged(&mut buf, 7, "first").unwrap();
+        write_frame_tagged(&mut buf, u64::MAX, "second").unwrap();
+        write_frame(&mut buf, "untagged").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame_tagged(&mut cursor).unwrap(), (7, "first".to_string()));
+        assert_eq!(read_frame_tagged(&mut cursor).unwrap(), (u64::MAX, "second".to_string()));
+        // The single-shot wrapper tags with 0 and interoperates.
+        assert_eq!(read_frame_tagged(&mut cursor).unwrap(), (0, "untagged".to_string()));
+        assert!(matches!(read_frame_tagged(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn decode_frame_handles_partial_buffers_and_damage() {
+        let mut buf = Vec::new();
+        write_frame_tagged(&mut buf, 42, "payload one").unwrap();
+        write_frame_tagged(&mut buf, 43, "payload two").unwrap();
+
+        // Every prefix short of the first full frame decodes to None.
+        let first_len = FRAME_HEADER_BYTES + "payload one".len();
+        for cut in 0..first_len {
+            assert!(
+                matches!(decode_frame(&buf[..cut]), Ok(None)),
+                "prefix of {cut} bytes must be incomplete, not an error"
+            );
+        }
+        // A complete first frame decodes and reports its size; the
+        // remainder decodes the second.
+        let (corr, payload, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!((corr, payload.as_str(), used), (42, "payload one", first_len));
+        let (corr, payload, used) = decode_frame(&buf[used..]).unwrap().unwrap();
+        assert_eq!((corr, payload.as_str()), (43, "payload two"));
+        assert_eq!(used, FRAME_HEADER_BYTES + "payload two".len());
+
+        // Bad magic is rejected on the first divergent byte, before the
+        // rest of the header arrives.
+        assert!(matches!(decode_frame(b"J"), Err(FrameError::BadMagic(_))));
+        assert!(matches!(decode_frame(b"ORLX"), Err(FrameError::BadMagic(_))));
+
+        // Oversized length and corrupted bytes are rejected as soon as
+        // they are decodable.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&FRAME_MAGIC);
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(decode_frame(&huge), Err(FrameError::TooLarge(_))));
+        let mut tampered = buf.clone();
+        tampered[FRAME_HEADER_BYTES] ^= 0x01;
+        assert!(matches!(decode_frame(&tampered), Err(FrameError::BadChecksum)));
+        let mut tampered = buf;
+        tampered[20] ^= 0x01; // inside the correlation id
+        assert!(matches!(decode_frame(&tampered), Err(FrameError::BadChecksum)));
     }
 
     #[test]

@@ -177,3 +177,78 @@ fn seeded_searchers_trace_identically_through_the_service() {
     Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
     handle.join().expect("server thread");
 }
+
+#[test]
+fn pipelined_coalesced_sweeps_serialize_byte_identically_to_local_and_single_shot() {
+    // The same full-space sweep three ways — the local engine, a PR 5
+    // style one-point-per-exchange client, and a coalescing pipelined
+    // evaluator under eight concurrent threads — compared on the
+    // *canonical serialization*: every path must produce the same bytes
+    // for every point, so pipelining and batching are invisible in the
+    // data.
+    use oriole::service::CoalesceConfig;
+    use oriole::tuner::persist::emit_measurement;
+    use std::sync::Arc;
+
+    let kid = KernelId::Atax;
+    let sizes = [64u64];
+    let builder = move |n: u64| kid.ast(n);
+    let space = SearchSpace::tiny();
+    let points: Vec<TuningParams> = space.iter().collect();
+    let sc = EvalScope {
+        kernel: "atax".to_string(),
+        gpu: Gpu::K20.spec().clone(),
+        sizes: sizes.to_vec(),
+        protocol: EvalProtocol::default(),
+    };
+
+    let ev = Evaluator::new(&builder, Gpu::K20.spec(), &sizes);
+    let local: Vec<String> =
+        points.iter().map(|&p| emit_measurement(&ev.evaluate(p))).collect();
+
+    let server = Server::bind("127.0.0.1:0", ArtifactStore::new()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    // One point per exchange, one exchange at a time.
+    let single = Client::connect(&addr).expect("connect");
+    let one_at_a_time: Vec<String> = points
+        .iter()
+        .map(|&p| {
+            let (_, ms) = single.evaluate(&sc, &[p]).expect("evaluate");
+            emit_measurement(&ms[0])
+        })
+        .collect();
+    assert_eq!(one_at_a_time, local, "single-shot exchanges serialize like local");
+
+    // Coalesced + pipelined, under real thread contention.
+    let remote = Arc::new(RemoteEvaluator::with_coalesce(
+        Client::connect(&addr).expect("connect"),
+        sc,
+        CoalesceConfig { max_batch_points: 3, ..CoalesceConfig::default() },
+    ));
+    let swept: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let remote = Arc::clone(&remote);
+                let points = points.clone();
+                s.spawn(move || {
+                    remote
+                        .evaluate_batch(&points)
+                        .expect("evaluate")
+                        .iter()
+                        .map(emit_measurement)
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    assert_eq!(remote.take_error(), None);
+    for lines in &swept {
+        assert_eq!(lines, &local, "pipelined coalesced sweep serializes byte-identically");
+    }
+
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
