@@ -31,6 +31,7 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use oriole_arch::Gpu;
 use oriole_codegen::{compile, front_end, FrontEnd, TuningParams};
 use oriole_kernels::KernelId;
+use oriole_ir::lower::{lower_indexed, LowerOptions};
 use oriole_service::{Client, EvalScope, RemoteEvaluator, ServeConfig, Server};
 use oriole_sim::{dynamic_mix, measure, simulate, TrialProtocol};
 use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, SearchSpace};
@@ -145,6 +146,68 @@ fn bench_eval_throughput(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+
+    // Per-phase microbenches over the space's distinct front-end keys
+    // (UIF × fast-math): each isolates one stage of the front-end/
+    // back-end pipeline, so a regression in `frontend/cold_index_build`
+    // can be attributed without re-profiling. `phase_unroll` times the
+    // source transformation, `phase_lower` the arena-interned lowering
+    // with fused index construction, `phase_optimize` the dense-alias
+    // peephole pass, and `phase_regalloc` the linear-scan estimator —
+    // the same stages the `tune --stats` phase profiler reports.
+    let phase_n = sizes[0];
+    let phase_ast = builder(phase_n);
+    let uifs = thinned_fig3_space().uif;
+    let fast_maths = [false, true];
+    g.bench_function("frontend/phase_unroll", |b| {
+        b.iter(|| {
+            for &uif in &uifs {
+                black_box(oriole_codegen::unroll(black_box(&phase_ast), uif));
+            }
+        })
+    });
+
+    let unrolled: Vec<_> = uifs.iter().map(|&uif| oriole_codegen::unroll(&phase_ast, uif)).collect();
+    g.bench_function("frontend/phase_lower", |b| {
+        b.iter(|| {
+            for ast in &unrolled {
+                for &fast_math in &fast_maths {
+                    black_box(lower_indexed(
+                        black_box(ast),
+                        gpu.family,
+                        LowerOptions { fast_math },
+                    ));
+                }
+            }
+        })
+    });
+
+    let lowered: Vec<_> = unrolled
+        .iter()
+        .flat_map(|ast| {
+            fast_maths
+                .iter()
+                .map(|&fast_math| lower_indexed(ast, gpu.family, LowerOptions { fast_math }).0)
+        })
+        .collect();
+    g.bench_function("frontend/phase_optimize", |b| {
+        b.iter(|| {
+            for program in &lowered {
+                black_box(oriole_codegen::peephole(black_box(program)));
+            }
+        })
+    });
+
+    g.bench_function("frontend/phase_regalloc", |b| {
+        b.iter(|| {
+            for program in &lowered {
+                black_box(oriole_codegen::regalloc::allocate(
+                    black_box(program),
+                    gpu.regs_per_thread_max,
+                ));
+            }
+        })
     });
 
     g.bench_function("cold/1thread", |b| {

@@ -631,6 +631,20 @@ fn render_remote_stats(remote: &RemoteEvaluator, addr: &str, s: &ServiceStats) -
         s.unique_evaluations,
         s.contexts
     );
+    let p = &s.phases;
+    let _ = writeln!(
+        out,
+        "  compile phases: unroll {} ({} calls), lower {} ({} calls), optimize {} ({} calls), \
+         regalloc {} ({} calls)",
+        fmt_ns(p.unroll_ns),
+        p.unroll_calls,
+        fmt_ns(p.lower_ns),
+        p.lower_calls,
+        fmt_ns(p.optimize_ns),
+        p.optimize_calls,
+        fmt_ns(p.regalloc_ns),
+        p.regalloc_calls
+    );
     match &s.disk {
         Some(d) => {
             let _ = writeln!(
@@ -762,6 +776,20 @@ fn cmd_service(argv: &[String]) -> Result<String, String> {
                 s.measurement_tiers,
                 s.unique_evaluations,
                 s.contexts
+            );
+            let p = &s.phases;
+            let _ = writeln!(
+                out,
+                "  compile phases: unroll {} ({} calls), lower {} ({} calls), \
+                 optimize {} ({} calls), regalloc {} ({} calls)",
+                fmt_ns(p.unroll_ns),
+                p.unroll_calls,
+                fmt_ns(p.lower_ns),
+                p.lower_calls,
+                fmt_ns(p.optimize_ns),
+                p.optimize_calls,
+                fmt_ns(p.regalloc_ns),
+                p.regalloc_calls
             );
             match &s.disk {
                 Some(d) => {
@@ -929,6 +957,18 @@ fn cmd_store(argv: &[String]) -> Result<String, String> {
 /// construction: a context serves exactly one [`ModelId`], and the
 /// store never lets backends share report caches or measurement tiers,
 /// so the rates below always describe the named model alone.
+/// Nanosecond counters read badly raw; render at the precision a human
+/// compares phases at (whole ns below 10µs, then µs, then ms).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}\u{b5}s", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
 fn render_stats(before: EvalStats, after: EvalStats) -> String {
     let rate = |hits: u64, misses: u64| -> String {
         let total = hits + misses;
@@ -963,6 +1003,20 @@ fn render_stats(before: EvalStats, after: EvalStats) -> String {
         after.index_builds - before.index_builds,
         after.index_fast_path_hits - before.index_fast_path_hits,
         after.index_slow_path_hits - before.index_slow_path_hits
+    );
+    let phases = after.phases.since(&before.phases);
+    let _ = writeln!(
+        out,
+        "  compile phases: unroll {} ({} calls), lower {} ({} calls), optimize {} ({} calls), \
+         regalloc {} ({} calls)",
+        fmt_ns(phases.unroll_ns),
+        phases.unroll_calls,
+        fmt_ns(phases.lower_ns),
+        phases.lower_calls,
+        fmt_ns(phases.optimize_ns),
+        phases.optimize_calls,
+        fmt_ns(phases.regalloc_ns),
+        phases.regalloc_calls
     );
     let m = after.model;
     let b = before.model;

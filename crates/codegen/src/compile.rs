@@ -24,10 +24,11 @@
 //! pipeline (a property-tested invariant, see `tests/proptests.rs`).
 
 use crate::params::{CompilerFlags, TuningParams};
+use crate::profile::{self, Phase};
 use crate::regalloc::{self, RegAllocation};
 use crate::transform;
 use oriole_arch::{validate_launch, GpuSpec, LaunchCheck};
-use oriole_ir::lower::{lower, LowerOptions};
+use oriole_ir::lower::{lower_indexed, LowerOptions};
 use oriole_ir::{KernelAst, LaunchGeometry, Program, ProgramIndex, SharedDecl};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -144,9 +145,14 @@ pub fn front_end(
     if let Some(problem) = TuningParams::uif_problem(uif) {
         return Err(CompileError::InvalidParams(vec![problem]));
     }
-    let transformed = transform::unroll(ast, uif);
-    let program = lower(&transformed, gpu.family, LowerOptions { fast_math: cflags.fast_math });
-    let index = Arc::new(ProgramIndex::build(&program));
+    let transformed = profile::time(Phase::Unroll, || transform::unroll(ast, uif));
+    // Lowering and index construction are one fused walk; the pair is
+    // bit-identical to `lower` + `ProgramIndex::build` (property-tested
+    // in `oriole-ir`) and still bumps the index-build counter once.
+    let (program, index) = profile::time(Phase::Lower, || {
+        lower_indexed(&transformed, gpu.family, LowerOptions { fast_math: cflags.fast_math })
+    });
+    let index = Arc::new(index);
     Ok(FrontEnd {
         gpu: gpu.clone(),
         uif,

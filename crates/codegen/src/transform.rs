@@ -25,20 +25,32 @@ pub fn unroll(ast: &KernelAst, u: u32) -> KernelAst {
     if u <= 1 {
         return ast.clone();
     }
+    let mut scratch = UnrollScratch::default();
     let mut out = ast.clone();
-    out.body = unroll_stmts(&out.body, u);
+    out.body = unroll_stmts(&out.body, u, &mut scratch);
     out
 }
 
-fn unroll_stmts(stmts: &[Stmt], u: u32) -> Vec<Stmt> {
+/// Scratch buffers for [`interleave_copies`], reused across every loop
+/// body of one `unroll` walk so the interleave classification never
+/// re-allocates per body. Buffers are always drained back to empty
+/// before returning, so reuse cannot leak statements across bodies.
+#[derive(Default)]
+struct UnrollScratch {
+    loads: Vec<Stmt>,
+    ops: Vec<Stmt>,
+    stores: Vec<Stmt>,
+}
+
+fn unroll_stmts(stmts: &[Stmt], u: u32, scratch: &mut UnrollScratch) -> Vec<Stmt> {
     stmts
         .iter()
         .map(|s| match s {
-            Stmt::Loop(l) => Stmt::Loop(unroll_loop(l, u)),
+            Stmt::Loop(l) => Stmt::Loop(unroll_loop(l, u, scratch)),
             Stmt::If(b) => {
                 let mut nb = b.clone();
-                nb.then_body = unroll_stmts(&b.then_body, u);
-                nb.else_body = unroll_stmts(&b.else_body, u);
+                nb.then_body = unroll_stmts(&b.then_body, u, scratch);
+                nb.else_body = unroll_stmts(&b.else_body, u, scratch);
                 Stmt::If(nb)
             }
             other => other.clone(),
@@ -46,13 +58,13 @@ fn unroll_stmts(stmts: &[Stmt], u: u32) -> Vec<Stmt> {
         .collect()
 }
 
-fn unroll_loop(l: &Loop, u: u32) -> Loop {
+fn unroll_loop(l: &Loop, u: u32, scratch: &mut UnrollScratch) -> Loop {
     if !l.unrollable {
         // Recurse: inner loops may still be unrollable.
         return Loop {
             trip: l.trip,
             unrollable: false,
-            body: unroll_stmts(&l.body, u),
+            body: unroll_stmts(&l.body, u, scratch),
         };
     }
     // Only straight-line bodies are interleaved; bodies with nested
@@ -64,9 +76,9 @@ fn unroll_loop(l: &Loop, u: u32) -> Loop {
         .all(|s| matches!(s, Stmt::Op(_) | Stmt::Load(_) | Stmt::Store(_)));
     let new_trip = divide_trip(l.trip, u);
     let body = if straight_line {
-        interleave_copies(&l.body, u)
+        interleave_copies(&l.body, u, scratch)
     } else {
-        let inner = unroll_stmts(&l.body, u);
+        let inner = unroll_stmts(&l.body, u, scratch);
         let mut out = Vec::with_capacity(inner.len() * u as usize);
         for _ in 0..u {
             out.extend(inner.iter().cloned());
@@ -90,20 +102,26 @@ fn divide_trip(trip: TripCount, u: u32) -> TripCount {
 /// Schedules `u` copies of a straight-line body as loads → ops → stores,
 /// modeling the software pipelining a real scheduler performs on unrolled
 /// iterations.
-fn interleave_copies(body: &[Stmt], u: u32) -> Vec<Stmt> {
-    let mut loads = Vec::new();
-    let mut ops = Vec::new();
-    let mut stores = Vec::new();
+fn interleave_copies(body: &[Stmt], u: u32, scratch: &mut UnrollScratch) -> Vec<Stmt> {
+    debug_assert!(
+        scratch.loads.is_empty() && scratch.ops.is_empty() && scratch.stores.is_empty(),
+        "scratch must be drained between bodies"
+    );
     for _ in 0..u {
         for s in body {
             match s {
-                Stmt::Load(_) => loads.push(s.clone()),
-                Stmt::Store(_) => stores.push(s.clone()),
-                _ => ops.push(s.clone()),
+                Stmt::Load(_) => scratch.loads.push(s.clone()),
+                Stmt::Store(_) => scratch.stores.push(s.clone()),
+                _ => scratch.ops.push(s.clone()),
             }
         }
     }
-    loads.into_iter().chain(ops).chain(stores).collect()
+    let mut out =
+        Vec::with_capacity(scratch.loads.len() + scratch.ops.len() + scratch.stores.len());
+    out.append(&mut scratch.loads);
+    out.append(&mut scratch.ops);
+    out.append(&mut scratch.stores);
+    out
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@ use crate::ast::TripCount;
 use crate::instr::{Instr, Pred};
 use oriole_arch::Family;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Index of a basic block within a [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -190,6 +192,64 @@ pub struct ProgramMeta {
     pub spill_bytes: u32,
 }
 
+/// Shared block storage of a [`Program`].
+///
+/// The block vector is by far the heaviest part of a lowered program
+/// (every [`Instr`] owns an operand vector), and the compilation
+/// back-end stamps out one program *per tuning point* from one lowered
+/// artifact — differing only in [`ProgramMeta`]. Wrapping the arena in
+/// an `Arc` makes that per-point clone a reference-count bump instead
+/// of a deep copy, while [`BlockArena::make_mut`] preserves
+/// copy-on-write value semantics for the rare passes (peephole
+/// optimization) that actually rewrite blocks.
+///
+/// Dereferences to `[BasicBlock]`, so all read access — indexing,
+/// iteration, `len()` — looks exactly like the plain `Vec` it replaced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockArena(Arc<Vec<BasicBlock>>);
+
+impl BlockArena {
+    /// Wraps a freshly built block vector.
+    pub fn new(blocks: Vec<BasicBlock>) -> BlockArena {
+        BlockArena(Arc::new(blocks))
+    }
+
+    /// Mutable access with copy-on-write semantics: clones the blocks
+    /// if (and only if) the arena is currently shared.
+    pub fn make_mut(&mut self) -> &mut Vec<BasicBlock> {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Whether two arenas share one allocation (no bytes were copied
+    /// between them).
+    pub fn shares_storage(a: &BlockArena, b: &BlockArena) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for BlockArena {
+    type Target = [BasicBlock];
+
+    fn deref(&self) -> &[BasicBlock] {
+        &self.0
+    }
+}
+
+impl From<Vec<BasicBlock>> for BlockArena {
+    fn from(blocks: Vec<BasicBlock>) -> BlockArena {
+        BlockArena::new(blocks)
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockArena {
+    type Item = &'a BasicBlock;
+    type IntoIter = std::slice::Iter<'a, BasicBlock>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 /// A lowered kernel: the unit the static analyzer and simulator consume.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
@@ -197,8 +257,10 @@ pub struct Program {
     pub name: String,
     /// Compilation metadata.
     pub meta: ProgramMeta,
-    /// Basic blocks; block 0 is the unique entry.
-    pub blocks: Vec<BasicBlock>,
+    /// Basic blocks; block 0 is the unique entry. Stored in a shared
+    /// [`BlockArena`], so cloning a program (the back-end does it once
+    /// per tuning point) shares the blocks instead of copying them.
+    pub blocks: BlockArena,
 }
 
 impl Program {
@@ -324,7 +386,8 @@ mod tests {
             blocks: vec![
                 block("entry", Terminator::Jump(BlockId(1))),
                 block("exit", Terminator::Ret),
-            ],
+            ]
+            .into(),
         };
         assert!(p.validate().is_empty());
         assert_eq!(p.block_by_label("exit"), Some(BlockId(1)));
@@ -339,7 +402,8 @@ mod tests {
             blocks: vec![
                 block("a", Terminator::Jump(BlockId(9))),
                 block("a", Terminator::Ret),
-            ],
+            ]
+            .into(),
         };
         let problems = p.validate();
         assert_eq!(problems.len(), 2, "{problems:?}");
@@ -362,7 +426,8 @@ mod tests {
                     },
                 ),
                 block("exit", Terminator::Ret),
-            ],
+            ]
+            .into(),
         };
         assert_eq!(p.validate().len(), 1);
     }
@@ -376,7 +441,8 @@ mod tests {
                 block("entry", Terminator::Jump(BlockId(2))),
                 block("orphan", Terminator::Ret),
                 block("exit", Terminator::Ret),
-            ],
+            ]
+            .into(),
         };
         assert_eq!(p.reachable(), vec![true, false, true]);
     }

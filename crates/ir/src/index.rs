@@ -200,6 +200,147 @@ fn freq_has_div(f: &FreqExpr) -> bool {
     }
 }
 
+/// Incremental [`ProgramIndex`] construction, fused into the lowering
+/// walk (`oriole_ir::lower::lower_indexed`): edges, per-block summary
+/// tapes, divergence flags and grid-stride trips are accumulated as
+/// each block is sealed, so creating the index costs no second pass
+/// over the finished program's instruction vectors.
+///
+/// The lowering contract this builder relies on:
+///
+/// * blocks are sealed in final id order (`seal` call *k* describes
+///   `BlockId(k)`);
+/// * a sealed terminator may later be *patched* (if/else chains seal
+///   with a placeholder `Ret` and link the branch targets once the
+///   chains are lowered) — the placeholder contributes no edges, so a
+///   patch only ever **adds** edges;
+/// * block instruction vectors and frequencies are immutable once
+///   sealed (patches replace terminators only).
+///
+/// [`IndexBuilder::finish`] then runs the same ordering/dominator
+/// passes as [`ProgramIndex::build`]; equality of the two paths is
+/// property-tested (see `lower::proptests`).
+#[derive(Debug, Default)]
+pub(crate) struct IndexBuilder {
+    /// CFG edges in (source-block, seal/patch) order.
+    edges: Vec<(BlockId, BlockId)>,
+    summaries: Vec<BlockSummary>,
+    grid_strides: Vec<SizeExpr>,
+    any_cond: bool,
+    any_div: bool,
+}
+
+impl IndexBuilder {
+    pub(crate) fn new() -> IndexBuilder {
+        IndexBuilder::default()
+    }
+
+    /// Accounts a just-sealed block (the `k`-th call describes
+    /// `BlockId(k)`).
+    pub(crate) fn seal(&mut self, block: &crate::block::BasicBlock) {
+        let from = BlockId(self.summaries.len() as u32);
+        self.summaries.push(summarize(block));
+        if freq_has_div(&block.freq) {
+            self.any_div = true;
+        }
+        self.record_term(from, &block.term);
+    }
+
+    /// Accounts a terminator patch on an already-sealed block. The
+    /// sealed placeholder must have been `Ret` (no edges), so the patch
+    /// strictly adds the new terminator's edges.
+    pub(crate) fn patch(&mut self, at: BlockId, term: &Terminator) {
+        let summary = &mut self.summaries[at.0 as usize];
+        debug_assert!(
+            matches!(summary.term, TermClass::Ret),
+            "patched block was sealed with a non-placeholder terminator"
+        );
+        summary.term = term_class(term);
+        self.record_term(at, term);
+    }
+
+    fn record_term(&mut self, from: BlockId, term: &Terminator) {
+        match term {
+            Terminator::CondBranch { divergent, .. } => {
+                self.any_cond = true;
+                if *divergent {
+                    self.any_div = true;
+                }
+            }
+            Terminator::LoopBack { trip: TripCount::GridStride(s), .. } => {
+                self.grid_strides.push(*s);
+            }
+            _ => {}
+        }
+        for s in term.successors() {
+            self.edges.push((from, s));
+        }
+    }
+
+    /// Finalizes the index: distributes the accumulated edges into
+    /// successor/predecessor vectors and runs the ordering, dominator
+    /// and region passes exactly as [`ProgramIndex::build`] would.
+    /// Bumps the process-wide build counter once — the fused path *is*
+    /// the one index build of a front-end run.
+    pub(crate) fn finish(self, program: &Program) -> ProgramIndex {
+        INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let n = program.blocks.len();
+        debug_assert_eq!(n, self.summaries.len(), "every block must be sealed exactly once");
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (from, to) in &self.edges {
+            succs[from.0 as usize].push(*to);
+            preds[to.0 as usize].push(*from);
+        }
+        // `build` discovers predecessors by scanning blocks in id order,
+        // so its pred lists are ascending in the source block; the fused
+        // walk discovers them in seal/patch order. No block reaches the
+        // same successor through two terminator slots, so sorting
+        // reproduces `build`'s lists exactly.
+        for p in &mut preds {
+            p.sort_unstable();
+        }
+        let rpo = cfg::reverse_postorder(n, &succs);
+        let idom = cfg::dominators(n, &preds, &rpo);
+        let loops = cfg::natural_loops_in(program, &preds, &idom);
+
+        let is_linear = !self.any_cond;
+        let (ipostdom, regions) = if is_linear {
+            (vec![None; n], Vec::new())
+        } else {
+            let ipostdom = cfg::postdominators(n, &succs, program);
+            let regions = cfg::divergent_regions_in(program, &succs, &ipostdom)
+                .into_iter()
+                .map(|r| {
+                    let mut body: Vec<BlockId> = r.body.into_iter().collect();
+                    body.sort_unstable();
+                    DivRegion {
+                        branch_block: r.branch_block,
+                        reconvergence: r.reconvergence,
+                        body,
+                    }
+                })
+                .collect();
+            (ipostdom, regions)
+        };
+
+        ProgramIndex {
+            n,
+            succs,
+            preds,
+            rpo,
+            idom,
+            ipostdom,
+            loops,
+            regions,
+            summaries: self.summaries,
+            grid_strides: self.grid_strides,
+            is_linear,
+            has_divergence: self.any_div,
+        }
+    }
+}
+
 impl ProgramIndex {
     /// Builds the index for a lowered program. Called once per front-end
     /// artifact; every call bumps the process-wide build counter so
@@ -438,12 +579,17 @@ fn summarize(block: &crate::block::BasicBlock) -> BlockSummary {
             _ => ProfileEvent::Issue { class },
         });
     }
-    let term = match &block.term {
+    let term = term_class(&block.term);
+    BlockSummary { instr_count: block.instrs.len(), mix_tape, profile_tape, term }
+}
+
+/// Classifies a terminator for the per-block summary.
+fn term_class(term: &Terminator) -> TermClass {
+    match term {
         Terminator::Jump(_) | Terminator::LoopBack { .. } => TermClass::Ctrl,
         Terminator::CondBranch { divergent, .. } => TermClass::CondBranch { divergent: *divergent },
         Terminator::Ret => TermClass::Ret,
-    };
-    BlockSummary { instr_count: block.instrs.len(), mix_tape, profile_tape, term }
+    }
 }
 
 #[cfg(test)]

@@ -48,11 +48,11 @@ pub use ast::{
     shared_bytes_for_block, AccessPattern, AluOp, Branch, DivergenceKind, KernelAst, Loop,
     MemSpace, MemStmt, OpStmt, SharedDecl, SizeExpr, Stmt, TripCount,
 };
-pub use block::{BasicBlock, BlockId, FreqExpr, Program, ProgramMeta, Terminator};
+pub use block::{BasicBlock, BlockArena, BlockId, FreqExpr, Program, ProgramMeta, Terminator};
 pub use cfg::{Cfg, DivergentRegion, NaturalLoop};
 pub use count::{expected_mix, expected_mix_of, static_mix, ClassMix, LaunchGeometry, MixCounts};
 pub use index::{BlockSummary, DivRegion, ProfileEvent, ProgramIndex, TermClass};
 pub use instr::{Instr, MemAnnot, Operand, Pred, Reg, SpecialReg};
 pub use isa::{CmpOp, OpKind, Opcode, Ty};
-pub use lower::lower;
+pub use lower::{lower, lower_indexed};
 pub use text::{emit, parse, ParseError};

@@ -296,7 +296,7 @@ impl<'a> Parser<'a> {
             };
             blocks.push(BasicBlock { label: raw.label, instrs: raw.instrs, term, freq: raw.freq });
         }
-        let program = Program { name, meta, blocks };
+        let program = Program { name, meta, blocks: blocks.into() };
         let problems = program.validate();
         if let Some(p) = problems.first() {
             return Err(err(0, format!("ill-formed program: {p}")));

@@ -19,7 +19,7 @@
 //! touched with unvalidated input.
 
 use oriole_arch::GpuSpec;
-use oriole_codegen::TuningParams;
+use oriole_codegen::{PhaseTelemetry, TuningParams};
 use oriole_sim::{ModelId, SimReport};
 use oriole_tuner::persist::{self, WireError};
 use oriole_tuner::{EvalProtocol, Measurement};
@@ -144,6 +144,9 @@ pub struct ServiceStats {
     /// Disk-tier counters; `None` when the daemon's store is
     /// memory-only.
     pub disk: Option<persist::DiskStats>,
+    /// Per-phase compile profiler snapshot of the daemon process
+    /// (unroll/lower/optimize/regalloc wall-clock and invocations).
+    pub phases: PhaseTelemetry,
 }
 
 /// One server response.
@@ -322,6 +325,47 @@ fn emit_disk(d: &persist::DiskStats) -> String {
     )
 }
 
+fn emit_phases(p: &PhaseTelemetry) -> String {
+    format!(
+        "unroll:{}:{};lower:{}:{};optimize:{}:{};regalloc:{}:{}",
+        p.unroll_ns,
+        p.unroll_calls,
+        p.lower_ns,
+        p.lower_calls,
+        p.optimize_ns,
+        p.optimize_calls,
+        p.regalloc_ns,
+        p.regalloc_calls,
+    )
+}
+
+fn parse_phases(text: &str) -> Result<PhaseTelemetry, WireError> {
+    let get = |key: &str| -> Result<(u64, u64), WireError> {
+        let rest = text
+            .split(';')
+            .find_map(|f| f.strip_prefix(key).and_then(|r| r.strip_prefix(':')))
+            .ok_or_else(|| WireError::new(format!("missing phase field `{key}`")))?;
+        let (ns, calls) = rest
+            .split_once(':')
+            .ok_or_else(|| WireError::new(format!("malformed phase field `{key}`")))?;
+        Ok((parse_u64(ns, key)?, parse_u64(calls, key)?))
+    };
+    let (unroll_ns, unroll_calls) = get("unroll")?;
+    let (lower_ns, lower_calls) = get("lower")?;
+    let (optimize_ns, optimize_calls) = get("optimize")?;
+    let (regalloc_ns, regalloc_calls) = get("regalloc")?;
+    Ok(PhaseTelemetry {
+        unroll_ns,
+        unroll_calls,
+        lower_ns,
+        lower_calls,
+        optimize_ns,
+        optimize_calls,
+        regalloc_ns,
+        regalloc_calls,
+    })
+}
+
 fn parse_disk(text: &str) -> Result<persist::DiskStats, WireError> {
     let get = |key: &str| -> Result<u64, WireError> {
         text.split(';')
@@ -374,6 +418,8 @@ pub fn emit_response(resp: &Response) -> String {
                 out.push_str("\ndisk=");
                 out.push_str(&emit_disk(d));
             }
+            out.push_str("\nphases=");
+            out.push_str(&emit_phases(&s.phases));
             out
         }
         Response::Evaluate { computed, measurements } => {
@@ -436,6 +482,12 @@ pub fn parse_response(payload: &str) -> Result<Response, WireError> {
                         disk: match body_field(&body, "disk") {
                             Ok(d) => Some(parse_disk(d)?),
                             Err(_) => None,
+                        },
+                        // Optional for wire compatibility with peers that
+                        // predate the phase profiler.
+                        phases: match body_field(&body, "phases") {
+                            Ok(p) => parse_phases(p)?,
+                            Err(_) => PhaseTelemetry::default(),
                         },
                     }))
                 }
@@ -562,6 +614,16 @@ mod tests {
                 measurements_written: 0,
                 rejected: 0,
             }),
+            phases: PhaseTelemetry {
+                unroll_ns: 1_250,
+                unroll_calls: 10,
+                lower_ns: 311_007,
+                lower_calls: 10,
+                optimize_ns: 0,
+                optimize_calls: 0,
+                regalloc_ns: 42_000,
+                regalloc_calls: 10,
+            },
         };
         let resps = [
             Response::Pong,

@@ -1076,6 +1076,7 @@ fn stats(store: &ArtifactStore, state: &ServerState) -> ServiceStats {
         pipelined_peak: state.pipelined_peak.load(Ordering::Relaxed),
         reactor_wakeups: state.wakeups.load(Ordering::Relaxed),
         disk: s.disk,
+        phases: s.phases,
     }
 }
 

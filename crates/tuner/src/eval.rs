@@ -243,6 +243,9 @@ pub struct EvalStats {
     /// Model-context cache counters (occupancy table, dynamic mix,
     /// `SimReport`).
     pub model: ModelStats,
+    /// Per-phase compile profiler snapshot (process-wide wall-clock and
+    /// invocation counters for unroll/lower/optimize/regalloc).
+    pub phases: oriole_codegen::PhaseTelemetry,
 }
 
 /// Evaluates tuning points for one kernel × GPU × input-size set.
@@ -402,6 +405,7 @@ impl<'a> Evaluator<'a> {
             index_fast_path_hits: idx.fast_path_hits,
             index_slow_path_hits: idx.slow_path_hits,
             model: self.ctx.stats(),
+            phases: oriole_codegen::profile::telemetry(),
         }
     }
 

@@ -115,6 +115,8 @@ pub struct StoreStats {
     pub models: Vec<ModelStats>,
     /// Disk-tier counters; `None` when the store is memory-only.
     pub disk: Option<DiskStats>,
+    /// Per-phase compile profiler snapshot (process-wide).
+    pub phases: oriole_codegen::PhaseTelemetry,
 }
 
 impl StoreStats {
@@ -311,6 +313,7 @@ impl ArtifactStore {
             contexts,
             models,
             disk: self.inner.disk.get().map(|d| d.counters.snapshot()),
+            phases: oriole_codegen::profile::telemetry(),
         }
     }
 }

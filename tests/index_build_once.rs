@@ -57,4 +57,38 @@ fn front_end_builds_index_exactly_once() {
     // The sweep exercised the fast-path counter too (MatVec2D is
     // divergence-free).
     assert!(after_sweep.fast_path_hits > before.fast_path_hits);
+
+    // The index is built *during* lowering (fused into the walk), so a
+    // fresh artifact costs exactly one build no matter the kernel or
+    // front-end key: builds track artifacts one-to-one.
+    let mut artifacts = Vec::new();
+    for kernel in [KernelId::Atax, KernelId::Bicg, KernelId::Ex14Fj] {
+        for uif in [1u32, 2, 4] {
+            let fe = front_end(&kernel.ast(n), gpu, uif, cflags).expect("front end runs");
+            artifacts.push((fe, uif));
+        }
+    }
+    let after_batch = telemetry();
+    assert_eq!(
+        after_batch.index_builds - after_sweep.index_builds,
+        artifacts.len() as u64,
+        "fused construction builds exactly one index per front-end artifact"
+    );
+
+    // And re-sweeping those artifacts still adds zero builds.
+    for (fe, uif) in &artifacts {
+        for tc in [64u32, 512] {
+            let params = TuningParams { uif: *uif, ..TuningParams::with_geometry(tc, 96) };
+            let Ok(kernel) = fe.specialize(params) else {
+                continue;
+            };
+            let analysis = analyze(&kernel, n);
+            assert!(analysis.predicted_time > 0.0);
+        }
+    }
+    assert_eq!(
+        telemetry().index_builds,
+        after_batch.index_builds,
+        "re-sweeping cached artifacts never rebuilds an index"
+    );
 }
