@@ -30,11 +30,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use oriole_arch::Gpu;
 use oriole_codegen::{compile, front_end, FrontEnd, TuningParams};
+use oriole_fleet::{FleetEvaluator, FleetSpec};
 use oriole_kernels::KernelId;
 use oriole_ir::lower::{lower_indexed, LowerOptions};
-use oriole_service::{Client, EvalScope, RemoteEvaluator, ServeConfig, Server};
+use oriole_service::{Client, EvalScope, RemoteEvaluator, RetryPolicy, ServeConfig, Server};
 use oriole_sim::{dynamic_mix, measure, simulate, TrialProtocol};
-use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, SearchSpace};
+use oriole_tuner::{ArtifactStore, EvalProtocol, Evaluator, Oracle, SearchSpace};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -504,6 +505,79 @@ fn bench_eval_throughput(c: &mut Criterion) {
     }
     Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
     server_handle.join().expect("server thread");
+
+    // The fleet-scaling curve: the same warm sweep multiplexed across s
+    // daemons by the work-stealing `FleetEvaluator`. Every daemon is
+    // bound over a clone of ONE pre-warmed store (clones share tiers),
+    // so each iteration measures pure fleet serving — scheduling,
+    // stealing, and s-way RPC concurrency — not simulation. A fresh
+    // evaluator per iteration keeps the client-side memo from absorbing
+    // the sweep. The acceptance bar — s4 ≥ 2× s1 throughput — is gated
+    // in CI on runners with ≥ 4 cores (the s1 sweep serializes client
+    // and daemon work on one synchronous connection; the fleet overlaps
+    // s of those pipelines, which needs real cores to show up). The
+    // rows land in BENCH_eval.json as `fleet/scaling_s{1,2,4}`.
+    // 32-point chunks give the 640-point sweep 20 steal granules —
+    // perfect 4-way balance with per-RPC overhead still amortized.
+    const FLEET_CHUNK: usize = 32;
+    let fleet_store = ArtifactStore::new();
+    let warm_times: Vec<f64> = {
+        let evaluator = fleet_store.evaluator("atax", &builder, gpu, &sizes);
+        evaluator.evaluate_space(&space);
+        points.iter().map(|&p| evaluator.evaluate(p).time_ms).collect()
+    };
+    for &s in &[1usize, 2, 4] {
+        let daemons: Vec<_> = (0..s)
+            .map(|_| {
+                let server =
+                    Server::bind("127.0.0.1:0", fleet_store.clone()).expect("bind loopback");
+                let addr = server.local_addr().expect("local addr").to_string();
+                let handle = std::thread::spawn(move || server.run().expect("serve"));
+                (addr, handle)
+            })
+            .collect();
+        let spec = FleetSpec::from_addrs(daemons.iter().map(|(a, _)| a.clone()).collect())
+            .expect("fleet spec");
+        {
+            // Untimed bit-identity gate: the fleet sweep must agree
+            // with the local evaluator byte-for-byte before it is
+            // worth timing.
+            let fleet = FleetEvaluator::with_policy(
+                spec.clone(),
+                scope.clone(),
+                RetryPolicy::default(),
+                FLEET_CHUNK,
+            );
+            let got = fleet.eval_many(&points);
+            assert!(fleet.take_error().is_none(), "fleet gate failed");
+            assert_eq!(got.len(), warm_times.len());
+            for (g_t, l_t) in got.iter().zip(&warm_times) {
+                assert_eq!(g_t.to_bits(), l_t.to_bits(), "fleet sweep must match local bits");
+            }
+        }
+        g.bench_function(format!("fleet/scaling_s{s}"), |b| {
+            b.iter_batched(
+                || {
+                    FleetEvaluator::with_policy(
+                        spec.clone(),
+                        scope.clone(),
+                        RetryPolicy::default(),
+                        FLEET_CHUNK,
+                    )
+                },
+                |fleet| {
+                    let served = fleet.eval_many(&points).len();
+                    assert!(fleet.take_error().is_none(), "fleet sweep failed mid-bench");
+                    served
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        for (addr, handle) in daemons {
+            Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+            handle.join().expect("server thread");
+        }
+    }
 
     g.finish();
 }

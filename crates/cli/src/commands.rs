@@ -7,6 +7,7 @@ use oriole_arch::{Gpu, ALL_GPUS};
 use oriole_codegen::{compile, CompilerFlags, PreferredL1, TuningParams};
 use oriole_core::predict::predict_time_with;
 use oriole_core::{analyze_in, report, suggest};
+use oriole_fleet::{FleetEvaluator, FleetSpec};
 use oriole_kernels::KernelId;
 use oriole_service::{
     Client, CoalesceConfig, EvalScope, RemoteEvaluator, RetryPolicy, ServeConfig, Server,
@@ -110,6 +111,10 @@ commands:
                                          out-of-order responses
   service   {ping|stats|shutdown} --remote ADDR
                                          probe / inspect / stop a daemon
+  service   fleet-stats --fleet ADDRS|@FILE
+                                         per-shard + fleet-wide daemon
+                                         telemetry (unreachable shards
+                                         reported, not fatal)
 
 common variant flags: --tc --bc --uif --pl --sc --fast-math
 model flag (tune/simulate/analyze): --model {sim,static,roofline}
@@ -133,8 +138,20 @@ remote flag (tune/simulate): --remote ADDR
             Pipelining knobs (tune): --batch-points N (points per
             coalesced evaluate frame, default 64), --pipeline-depth N
             (frames in flight per connection, default 8),
-            --flush-idle-us US (coalesce window for concurrent misses,
-            default 200; a lone sequential search never waits).
+            --flush-idle-us US|auto (coalesce window for concurrent
+            misses, default 200; `auto` sizes it from the observed
+            round-trip time; a lone sequential search never waits).
+fleet flag (tune): --fleet ADDRS|@FILE
+            evaluate across N daemons (comma-separated addresses, or a
+            manifest file with one address per line): each scope's
+            chunks enqueue on its hash-assigned home shard, idle shards
+            steal from the busiest queue's tail, and a lost shard's
+            queue rebalances onto survivors — results stay
+            bit-identical to a local run. Each daemon must own its own
+            --store-dir (or none). --batch-points doubles as the
+            work-stealing chunk granule; --rpc-timeout/--retries bound
+            each shard exchange. Mutually exclusive with --remote and
+            --store-dir.
 tune flags: --budget B --sizes 32,64,... --spec FILE --seed N --csv
             --stats (print cache telemetry: active timing model, unique
             evaluations, lowerings, disk loads/spills, occupancy/mix/
@@ -356,20 +373,54 @@ fn connect(addr: &str, args: &Args) -> Result<Client, String> {
 /// `--pipeline-depth N` caps the frames in flight on the connection,
 /// `--flush-idle-us US` is the coalesce window a flush waits for
 /// concurrent misses (0 = send immediately; a lone sequential caller
-/// never waits regardless).
+/// never waits regardless). `--flush-idle-us auto` sizes the window
+/// from the connection's observed round-trip time instead.
 fn coalesce_config(args: &Args) -> Result<CoalesceConfig, String> {
     let default = CoalesceConfig::default();
+    let (flush_idle, adaptive) = match args.optional("flush-idle-us") {
+        None => (default.flush_idle, false),
+        Some("auto") => (default.flush_idle, true),
+        Some(v) => (
+            std::time::Duration::from_micros(v.parse::<u64>().map_err(|_| {
+                format!("--flush-idle-us expects microseconds or `auto`, got `{v}`")
+            })?),
+            false,
+        ),
+    };
     let cfg = CoalesceConfig {
         max_batch_points: args.num_or("batch-points", default.max_batch_points)?,
         max_frames: args.num_or("pipeline-depth", default.max_frames)?,
-        flush_idle: std::time::Duration::from_micros(
-            args.num_or("flush-idle-us", default.flush_idle.as_micros() as u64)?,
-        ),
+        flush_idle,
+        adaptive,
     };
     if cfg.max_batch_points == 0 || cfg.max_frames == 0 {
         return Err("--batch-points and --pipeline-depth must be at least 1".to_string());
     }
     Ok(cfg)
+}
+
+/// The `--fleet ADDRS|@FILE` flag, rejected alongside `--remote` (one
+/// multiplexer at a time) and `--store-dir` (every fleet daemon owns
+/// its own disjoint directory; a client-side store would make this
+/// process a second writer).
+fn fleet_spec(args: &Args) -> Result<Option<FleetSpec>, String> {
+    match args.optional("fleet") {
+        Some(arg) => {
+            if args.optional("remote").is_some() {
+                return Err("--fleet and --remote are mutually exclusive: \
+                            the fleet spec already names the daemons"
+                    .to_string());
+            }
+            if args.optional("store-dir").is_some() {
+                return Err("--fleet and --store-dir are mutually exclusive: each fleet \
+                            daemon owns its own store directory (pass --store-dir to \
+                            each `oriole serve` instead)"
+                    .to_string());
+            }
+            FleetSpec::parse(arg).map(Some)
+        }
+        None => Ok(None),
+    }
 }
 
 fn cmd_disasm(args: &Args) -> Result<String, String> {
@@ -416,8 +467,29 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     enum Backend<'a> {
         Local { evaluator: oriole_tuner::Evaluator<'a>, store: ArtifactStore, before: EvalStats },
         Remote { remote: RemoteEvaluator, addr: String },
+        Fleet { fleet: FleetEvaluator },
     }
-    let backend = match remote_addr(args)? {
+    let backend = if let Some(spec) = fleet_spec(args)? {
+        // --batch-points doubles as the work-stealing granule: the
+        // points per `evaluate` chunk a shard claims (or steals) at a
+        // time. Validate the knobs even though coalescing itself is
+        // per-daemon here.
+        let coalesce = coalesce_config(args)?;
+        Backend::Fleet {
+            fleet: FleetEvaluator::with_policy(
+                spec,
+                EvalScope {
+                    kernel: kernel_id.name().to_string(),
+                    gpu: gpu.spec().clone(),
+                    sizes: sizes.clone(),
+                    protocol,
+                },
+                retry_policy(args)?,
+                coalesce.max_batch_points,
+            ),
+        }
+    } else {
+        match remote_addr(args)? {
         Some(addr) => {
             // Validate the batching knobs before dialing: a bad flag is
             // a usage error even when no daemon is up.
@@ -443,17 +515,19 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
             let before = evaluator.stats();
             Backend::Local { evaluator, store: run_store, before }
         }
+        }
     };
     let oracle: &dyn Oracle = match &backend {
         Backend::Local { evaluator, .. } => evaluator,
         Backend::Remote { remote, .. } => remote,
+        Backend::Fleet { fleet } => fleet,
     };
     // The static-pruning probe analyzes locally either way (static
     // analysis is the cheap part the paper contributes; only empirical
     // evaluation goes remote).
     let analysis_store = match &backend {
         Backend::Local { store: s, .. } => s.clone(),
-        Backend::Remote { .. } => store().clone(),
+        Backend::Remote { .. } | Backend::Fleet { .. } => store().clone(),
     };
 
     let run = |searcher: &mut dyn Searcher| searcher.search(&space, oracle, budget);
@@ -531,11 +605,21 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
     };
 
     // A lost daemon aborts the run loudly: the remote oracle latches
-    // the first RPC failure instead of quietly scoring infinity.
-    if let Backend::Remote { remote, addr } = &backend {
-        if let Some(err) = remote.take_error() {
-            return Err(format!("remote evaluation via `{addr}` failed: {err}"));
+    // the first RPC failure instead of quietly scoring infinity. (For
+    // a fleet, a *lost shard* is routine — rebalanced, not fatal; only
+    // a deterministic error or total fleet loss latches.)
+    match &backend {
+        Backend::Remote { remote, addr } => {
+            if let Some(err) = remote.take_error() {
+                return Err(format!("remote evaluation via `{addr}` failed: {err}"));
+            }
         }
+        Backend::Fleet { fleet } => {
+            if let Some(err) = fleet.take_error() {
+                return Err(format!("fleet evaluation failed: {err}"));
+            }
+        }
+        Backend::Local { .. } => {}
     }
 
     let mut out = String::new();
@@ -562,6 +646,9 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
                 let server = remote.client().stats().map_err(|e| e.to_string())?;
                 out.push_str(&render_remote_stats(remote, addr, &server));
             }
+            Backend::Fleet { fleet } => {
+                out.push_str(&render_fleet_stats(fleet));
+            }
         }
     }
     if args.switch("csv") && !result.trace.is_empty() {
@@ -580,9 +667,54 @@ fn cmd_tune(args: &Args) -> Result<String, String> {
                 })?;
                 out.push_str(&measurements_csv(&measurements));
             }
+            Backend::Fleet { fleet } => {
+                let measurements = fleet.evaluate_batch(&points).ok_or_else(|| {
+                    format!(
+                        "fleet evaluation failed: {}",
+                        fleet.take_error().unwrap_or_default()
+                    )
+                })?;
+                out.push_str(&measurements_csv(&measurements));
+            }
         }
     }
     Ok(out)
+}
+
+/// The `--stats` block of a `--fleet` tune: what this client moved
+/// over the wire plus the work-stealing scheduler's ledger, per shard
+/// — the fleet analogue of [`render_remote_stats`].
+fn render_fleet_stats(fleet: &FleetEvaluator) -> String {
+    let s = fleet.stats();
+    let c = s.counters();
+    let mut out = String::new();
+    let _ = writeln!(out, "fleet stats ({} shard(s)):", c.shards);
+    let _ = writeln!(
+        out,
+        "  client: {} point(s) fetched, {} computed remotely",
+        s.points_fetched, s.computed_remote
+    );
+    let _ = writeln!(
+        out,
+        "  scheduler: {} chunk(s) dispatched, {} stolen, {} rebalanced, {} shard(s) lost",
+        c.batches_dispatched, c.batches_stolen, c.batches_rebalanced, c.shards_lost
+    );
+    for (i, sh) in s.shards.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  shard {i} {}: {} chunk(s) completed ({} stolen), {} in evaluate{}",
+            sh.addr,
+            sh.completed,
+            sh.stolen,
+            fmt_ns(sh.eval_time.as_nanos().min(u128::from(u64::MAX)) as u64),
+            if sh.lost {
+                format!(" [LOST, {} chunk(s) rebalanced away]", sh.rebalanced_away)
+            } else {
+                String::new()
+            }
+        );
+    }
+    out
 }
 
 /// The `--stats` block of a `--remote` tune: what this client moved
@@ -736,9 +868,12 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
 /// store directory is left with whole records only).
 fn cmd_service(argv: &[String]) -> Result<String, String> {
     let Some(action) = argv.first() else {
-        return Err("service needs an action: ping | stats | shutdown".to_string());
+        return Err("service needs an action: ping | stats | shutdown | fleet-stats".to_string());
     };
     let args = Args::parse(&argv[1..])?;
+    if action == "fleet-stats" {
+        return cmd_fleet_stats(&args);
+    }
     let addr = args.required("remote")?;
     let client = connect(addr, &args)?;
     match action.as_str() {
@@ -813,8 +948,53 @@ fn cmd_service(argv: &[String]) -> Result<String, String> {
             client.shutdown().map_err(|e| e.to_string())?;
             Ok(format!("daemon at {addr} is shutting down (draining in-flight work)\n"))
         }
-        other => Err(format!("unknown service action `{other}` (try ping | stats | shutdown)")),
+        other => Err(format!(
+            "unknown service action `{other}` (try ping | stats | shutdown | fleet-stats)"
+        )),
     }
+}
+
+/// `oriole service fleet-stats --fleet ADDRS|@FILE` — one row per
+/// shard plus fleet-wide totals. An unreachable shard is reported, not
+/// fatal: a fleet operator needs the partial view precisely when a
+/// daemon is down.
+fn cmd_fleet_stats(args: &Args) -> Result<String, String> {
+    let spec = FleetSpec::parse(args.required("fleet")?)?;
+    let policy = retry_policy(args)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "fleet of {} shard(s):", spec.len());
+    let (mut unique, mut served, mut reachable) = (0u64, 0u64, 0usize);
+    for (i, addr) in spec.shards().iter().enumerate() {
+        let stats = Client::connect_with(addr, policy).and_then(|c| c.stats());
+        match stats {
+            Ok(s) => {
+                reachable += 1;
+                unique += s.unique_evaluations;
+                served += s.points_served;
+                let _ = writeln!(
+                    out,
+                    "  shard {i} {addr}: {} unique evaluation(s), {} point(s) served, \
+                     {} measurement tier(s), {}/{} worker(s) busy, {} shed busy",
+                    s.unique_evaluations,
+                    s.points_served,
+                    s.measurement_tiers,
+                    s.workers_busy,
+                    s.workers_max,
+                    s.shed_busy
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  shard {i} {addr}: UNREACHABLE ({e})");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  fleet: {reachable}/{} shard(s) reachable, {unique} unique evaluation(s), \
+         {served} point(s) served",
+        spec.len()
+    );
+    Ok(out)
 }
 
 /// `oriole store {stats|verify|gc} --store-dir DIR` — maintenance of a
@@ -1322,6 +1502,90 @@ mod tests {
             let err = call(line).unwrap_err();
             assert!(err.contains("mutually exclusive"), "{err}");
         }
+    }
+
+    #[test]
+    fn fleet_flag_is_exclusive_and_validates_its_spec() {
+        for line in [
+            "tune --kernel atax --gpu k20 --strategy random --fleet 127.0.0.1:1 --remote 127.0.0.1:2",
+            "tune --kernel atax --gpu k20 --strategy random --fleet 127.0.0.1:1 --store-dir /tmp/x",
+        ] {
+            let err = call(line).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{err}");
+        }
+        let dup = call("tune --kernel atax --gpu k20 --strategy random --fleet a,b,a")
+            .unwrap_err();
+        assert!(dup.contains("twice"), "{dup}");
+        assert!(
+            call("service fleet-stats --fleet a,,b").is_err(),
+            "empty shard entry must be rejected"
+        );
+    }
+
+    #[test]
+    fn flush_idle_auto_is_accepted_and_garbage_is_not() {
+        let err = call(
+            "tune --kernel atax --gpu k20 --strategy random --remote 127.0.0.1:1 \
+             --flush-idle-us soon",
+        )
+        .unwrap_err();
+        assert!(err.contains("`auto`"), "error should advertise auto: {err}");
+
+        let (addr, handle) = spawn_daemon();
+        let flags = "tune --kernel atax --gpu k20 --strategy random --budget 8 --sizes 32";
+        let local = call(flags).unwrap();
+        let auto = call(&format!("{flags} --remote {addr} --flush-idle-us auto")).unwrap();
+        assert_eq!(auto, local, "adaptive coalescing must never change results");
+        assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn fleet_tune_is_byte_identical_to_local_and_reports_fleet_stats() {
+        let (a0, h0) = spawn_daemon();
+        let (a1, h1) = spawn_daemon();
+        let flags = "tune --kernel atax --gpu k20 --strategy random --budget 8 --sizes 32 --csv";
+        let local = call(flags).unwrap();
+        // Chunk small (--batch-points 2) so the steal path actually runs.
+        let fleet = call(&format!("{flags} --fleet {a0},{a1} --batch-points 2")).unwrap();
+        assert_eq!(fleet, local, "fleet evaluation must be indistinguishable from local");
+        // Warm re-run against the same fleet: still identical.
+        let again = call(&format!("{flags} --fleet {a0},{a1} --batch-points 2")).unwrap();
+        assert_eq!(again, local);
+
+        let stats = call(&format!(
+            "{flags} --fleet {a0},{a1} --batch-points 2 --stats"
+        ))
+        .unwrap();
+        assert!(stats.contains("fleet stats (2 shard(s))"), "{stats}");
+        assert!(stats.contains("scheduler:"), "{stats}");
+        assert!(stats.contains("chunk(s) dispatched"), "{stats}");
+        assert!(stats.contains("shard 0"), "{stats}");
+        assert!(stats.contains("shard 1"), "{stats}");
+
+        let svc = call(&format!("service fleet-stats --fleet {a0},{a1}")).unwrap();
+        assert!(svc.contains("fleet of 2 shard(s)"), "{svc}");
+        assert!(svc.contains("2/2 shard(s) reachable"), "{svc}");
+        assert!(svc.contains("unique evaluation(s)"), "{svc}");
+
+        for addr in [&a0, &a1] {
+            assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
+        }
+        h0.join().expect("server 0");
+        h1.join().expect("server 1");
+    }
+
+    #[test]
+    fn fleet_stats_reports_unreachable_shards_without_failing() {
+        let (addr, handle) = spawn_daemon();
+        let svc = call(&format!(
+            "service fleet-stats --fleet {addr},127.0.0.1:9 --rpc-timeout 1000 --retries 0"
+        ))
+        .unwrap();
+        assert!(svc.contains("UNREACHABLE"), "{svc}");
+        assert!(svc.contains("1/2 shard(s) reachable"), "{svc}");
+        assert!(call(&format!("service shutdown --remote {addr}")).is_ok());
+        handle.join().expect("server thread");
     }
 
     #[test]

@@ -110,8 +110,11 @@ impl ServiceError {
     /// Whether retrying can possibly change the answer. Transport
     /// failures and backpressure are transient; a daemon-side error or
     /// a malformed exchange is deterministic and retrying would only
-    /// repeat it.
-    fn is_transient(&self) -> bool {
+    /// repeat it. Fleet schedulers use the same split to decide between
+    /// rebalancing a shard's queue (transient: the shard is slow or
+    /// lost) and aborting the whole run (deterministic: every shard
+    /// would answer the same error).
+    pub fn is_transient(&self) -> bool {
         matches!(
             self,
             ServiceError::Io(_) | ServiceError::Frame(_) | ServiceError::Busy(_)
@@ -272,7 +275,16 @@ impl Client {
                 }
             }
             if start.elapsed() >= timeout {
-                return Err(last_err.expect("at least one dial attempted"));
+                let cause = last_err.expect("at least one dial attempted");
+                // Keep the Io class so retry classification still sees a
+                // transient connection failure, but tell the operator how
+                // hard we tried: fleet debugging needs "4 attempts over
+                // 10.0s", not just the final cause.
+                return Err(ServiceError::Io(std::io::Error::other(format!(
+                    "no daemon reachable at `{addr}` after {} attempt(s) over {:.1}s: {cause}",
+                    attempt + 1,
+                    start.elapsed().as_secs_f64()
+                ))));
             }
             attempt += 1;
             let nap = policy.backoff(attempt).min(timeout.saturating_sub(start.elapsed()));
@@ -536,6 +548,10 @@ struct PipeShared {
     /// that sends a burst of frames before waiting any would otherwise
     /// deadlock itself at the cap).
     in_flight: usize,
+    /// Send instants of outstanding requests, keyed by correlation id —
+    /// the reader subtracts these from arrival time to feed the RTT
+    /// EWMA. Entries are removed on match, send failure, or wait error.
+    sent: HashMap<u64, Instant>,
     failure: Option<PipeFailure>,
     /// Last instant the reader made frame progress; waiters poison the
     /// pipeline when it goes stale past the rpc deadline with requests
@@ -553,6 +569,9 @@ struct PipeInner {
     depth: usize,
     rpc_timeout: Duration,
     next_corr: AtomicU64,
+    /// EWMA (alpha 1/8) of observed request→response round-trip time in
+    /// nanoseconds; 0 means no sample yet. Feeds adaptive coalescing.
+    rtt_ewma_ns: AtomicU64,
 }
 
 impl PipeInner {
@@ -614,6 +633,7 @@ impl Pipeline {
             shared: Mutex::new(PipeShared {
                 pending: HashMap::new(),
                 in_flight: 0,
+                sent: HashMap::new(),
                 failure: None,
                 last_progress: Instant::now(),
             }),
@@ -622,6 +642,7 @@ impl Pipeline {
             depth: depth.max(1),
             rpc_timeout,
             next_corr: AtomicU64::new(0),
+            rtt_ewma_ns: AtomicU64::new(0),
         });
         let reader_inner = Arc::clone(&inner);
         std::thread::spawn(move || reader_loop(stream, &reader_inner));
@@ -664,6 +685,7 @@ impl Pipeline {
             }
             let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed) + 1;
             shared.pending.insert(corr, None);
+            shared.sent.insert(corr, Instant::now());
             shared.in_flight += 1;
             corr
         };
@@ -677,6 +699,7 @@ impl Pipeline {
                 if matches!(shared.pending.remove(&corr), Some(None)) {
                     shared.in_flight -= 1;
                 }
+                shared.sent.remove(&corr);
             }
             inner.poison(true, format!("pipeline send failed: {e}"));
             return Err(ServiceError::Io(e));
@@ -704,6 +727,7 @@ impl Pipeline {
                 if matches!(shared.pending.remove(&ticket.corr), Some(None)) {
                     shared.in_flight -= 1;
                 }
+                shared.sent.remove(&ticket.corr);
                 return Err(err);
             }
             // The deadline is measured from the reader's last frame
@@ -736,6 +760,17 @@ impl Pipeline {
     /// single-shot convenience for tests and probes.
     pub fn call(&self, req: &Request) -> Result<Response, ServiceError> {
         self.wait(self.send(req)?)
+    }
+
+    /// The smoothed round-trip time observed on this connection (EWMA,
+    /// alpha 1/8), or `None` before the first matched response. Feeds
+    /// [`CoalesceConfig::flush_idle_from_rtt`] when adaptive coalescing
+    /// is on.
+    pub fn rtt_ewma(&self) -> Option<Duration> {
+        match self.inner.rtt_ewma_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
     }
 }
 
@@ -803,7 +838,16 @@ fn reader_loop(mut stream: TcpStream, inner: &PipeInner) {
             Some(slot @ None) => {
                 *slot = Some(resp);
                 shared.in_flight -= 1;
-                shared.last_progress = Instant::now();
+                let now = Instant::now();
+                shared.last_progress = now;
+                if let Some(sent_at) = shared.sent.remove(&corr) {
+                    let sample = now.duration_since(sent_at).as_nanos().min(u128::from(u64::MAX))
+                        as u64;
+                    // EWMA with alpha 1/8; the first sample seeds it.
+                    let old = inner.rtt_ewma_ns.load(Ordering::Relaxed);
+                    let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
+                    inner.rtt_ewma_ns.store(new.max(1), Ordering::Relaxed);
+                }
                 drop(shared);
                 inner.changed.notify_all();
             }
@@ -839,6 +883,12 @@ pub struct CoalesceConfig {
     /// inside the evaluator — a single sequential searcher never pays
     /// it.
     pub flush_idle: Duration,
+    /// When set, size the flush beat from the connection's observed
+    /// round-trip time ([`Pipeline::rtt_ewma`] through
+    /// [`CoalesceConfig::flush_idle_from_rtt`]) instead of the fixed
+    /// `flush_idle`, which then only serves as the pre-first-sample
+    /// fallback. CLI: `--flush-idle-us auto`.
+    pub adaptive: bool,
 }
 
 impl Default for CoalesceConfig {
@@ -847,7 +897,19 @@ impl Default for CoalesceConfig {
             max_batch_points: 64,
             max_frames: 8,
             flush_idle: Duration::from_micros(200),
+            adaptive: false,
         }
+    }
+}
+
+impl CoalesceConfig {
+    /// Derives a flush beat from an observed round-trip time: a quarter
+    /// of the RTT (long enough for concurrent misses to pile on, short
+    /// against the wire cost it amortizes), clamped to [25µs, 5ms] so a
+    /// loopback RTT never spins the beat to zero and a WAN RTT never
+    /// stalls a flush for whole RPC lifetimes.
+    pub fn flush_idle_from_rtt(rtt: Duration) -> Duration {
+        (rtt / 4).clamp(Duration::from_micros(25), Duration::from_millis(5))
     }
 }
 
@@ -1036,12 +1098,21 @@ impl RemoteEvaluator {
                 st.flushing = true;
                 // The coalesce beat: give concurrently arriving misses
                 // a moment to pile onto this flush — but never tax a
-                // lone sequential searcher with it.
-                if st.waiters > 1 && !self.coalesce.flush_idle.is_zero() {
-                    let (guard, _) = self
-                        .changed
-                        .wait_timeout(st, self.coalesce.flush_idle)
-                        .expect("coalesce wait");
+                // lone sequential searcher with it. Adaptive mode sizes
+                // the beat from the live connection's RTT EWMA, falling
+                // back to the fixed beat before the first sample.
+                let beat = if self.coalesce.adaptive {
+                    st.pipe
+                        .as_deref()
+                        .and_then(Pipeline::rtt_ewma)
+                        .map(CoalesceConfig::flush_idle_from_rtt)
+                        .unwrap_or(self.coalesce.flush_idle)
+                } else {
+                    self.coalesce.flush_idle
+                };
+                if st.waiters > 1 && !beat.is_zero() {
+                    let (guard, _) =
+                        self.changed.wait_timeout(st, beat).expect("coalesce wait");
                     st = guard;
                 }
                 let batch: Vec<TuningParams> = st.pending.drain(..).collect();
@@ -1295,6 +1366,46 @@ mod tests {
         let p = RetryPolicy { base_backoff: Duration::ZERO, ..RetryPolicy::default() };
         assert_eq!(p.backoff(1), Duration::ZERO);
         assert_eq!(p.backoff(7), Duration::ZERO);
+    }
+
+    #[test]
+    fn flush_idle_from_rtt_is_quarter_rtt_clamped() {
+        // Loopback-fast RTT clamps up to the floor.
+        assert_eq!(
+            CoalesceConfig::flush_idle_from_rtt(Duration::from_micros(4)),
+            Duration::from_micros(25)
+        );
+        // Mid-range RTT: a quarter.
+        assert_eq!(
+            CoalesceConfig::flush_idle_from_rtt(Duration::from_millis(2)),
+            Duration::from_micros(500)
+        );
+        // WAN-slow RTT clamps down to the ceiling.
+        assert_eq!(
+            CoalesceConfig::flush_idle_from_rtt(Duration::from_secs(1)),
+            Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn connect_retry_error_reports_attempts_and_elapsed() {
+        // Port 1 on loopback refuses immediately on any sane box.
+        let err = Client::connect_retry_with(
+            "127.0.0.1:1",
+            Duration::from_millis(80),
+            RetryPolicy {
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(20),
+                ..RetryPolicy::default()
+            },
+        )
+        .expect_err("nothing listens on port 1");
+        assert!(err.is_transient(), "dial failure must stay transient: {err}");
+        let text = err.to_string();
+        assert!(
+            text.contains("attempt(s) over") && text.contains("127.0.0.1:1"),
+            "error must name the address, attempt count, and elapsed: {text}"
+        );
     }
 
     #[test]

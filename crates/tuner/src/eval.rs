@@ -246,6 +246,27 @@ pub struct EvalStats {
     /// Per-phase compile profiler snapshot (process-wide wall-clock and
     /// invocation counters for unroll/lower/optimize/regalloc).
     pub phases: oriole_codegen::PhaseTelemetry,
+    /// Fleet scheduler counters — all zero for local (single-process)
+    /// evaluators; populated by `oriole_fleet::FleetEvaluator`.
+    pub fleet: FleetCounters,
+}
+
+/// Work-stealing fleet scheduler counters, threaded through
+/// [`EvalStats`] so `tune --stats` reports them uniformly. A local
+/// evaluator leaves every field zero; a fleet evaluator fills them in
+/// from its per-shard telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetCounters {
+    /// Shards in the fleet (0 when not running a fleet).
+    pub shards: u64,
+    /// Point-chunks dispatched to their home shard's queue.
+    pub batches_dispatched: u64,
+    /// Point-chunks stolen by an idle shard from another's tail.
+    pub batches_stolen: u64,
+    /// Point-chunks rebalanced off a lost shard onto survivors.
+    pub batches_rebalanced: u64,
+    /// Shards that were declared lost during the run.
+    pub shards_lost: u64,
 }
 
 /// Evaluates tuning points for one kernel × GPU × input-size set.
@@ -406,6 +427,7 @@ impl<'a> Evaluator<'a> {
             index_slow_path_hits: idx.slow_path_hits,
             model: self.ctx.stats(),
             phases: oriole_codegen::profile::telemetry(),
+            fleet: FleetCounters::default(),
         }
     }
 

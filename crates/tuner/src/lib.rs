@@ -53,7 +53,7 @@ pub mod space;
 pub mod spec;
 pub mod store;
 
-pub use eval::{EvalProtocol, EvalStats, Evaluator, Measurement, Objective};
+pub use eval::{EvalProtocol, EvalStats, Evaluator, FleetCounters, Measurement, Objective};
 // Re-exported for convenience: the backend selector every protocol and
 // store scope carries.
 pub use oriole_sim::ModelId;
